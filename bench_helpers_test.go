@@ -1,0 +1,19 @@
+package repro_test
+
+import (
+	"repro/internal/encoding"
+	"repro/internal/sim"
+	"repro/internal/studies"
+	"repro/internal/workload"
+)
+
+// simRun forwards to the simulator; kept as a helper so the benchmarks
+// read at the level of the experiment they reproduce.
+func simRun(cfg sim.Config, tr *workload.Trace) (sim.Result, error) {
+	return sim.Run(cfg, tr)
+}
+
+// newEncoder builds the study's input encoder.
+func newEncoder(st *studies.Study) *encoding.Encoder {
+	return encoding.NewEncoder(st.Space)
+}

@@ -1,0 +1,84 @@
+// Command simrun runs a single cycle-level simulation of one synthetic
+// benchmark on one architectural configuration and pretty-prints the
+// resulting metrics. It is the smallest possible end-to-end exercise of
+// the simulation substrate:
+//
+//	simrun -app mcf -insts 50000 -l2kb 512 -freq 4
+//
+// With -all, it sweeps the whole benchmark suite on the given
+// configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/studies"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "mcf", "benchmark name (see -list)")
+	insts := flag.Int("insts", 50000, "dynamic instructions to simulate")
+	all := flag.Bool("all", false, "run every benchmark in the suite")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	freq := flag.Float64("freq", 4, "core frequency in GHz")
+	width := flag.Int("width", 4, "fetch/issue/commit width")
+	rob := flag.Int("rob", 128, "ROB entries")
+	l1dkb := flag.Int("l1dkb", 32, "L1 D-cache size (KB)")
+	l2kb := flag.Int("l2kb", 1024, "L2 cache size (KB)")
+	wt := flag.Bool("wt", false, "use a write-through L1D (default write-back)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range workload.Apps() {
+			fmt.Println(a)
+		}
+		return
+	}
+
+	cfg := studies.BaselineConfig()
+	cfg.FreqGHz = *freq
+	cfg.Width = *width
+	cfg.ROBSize = *rob
+	cfg.L1DSizeKB = *l1dkb
+	cfg.L2SizeKB = *l2kb
+	if *wt {
+		cfg.L1DWrite = sim.WriteThrough
+	}
+
+	apps := []string{*app}
+	if *all {
+		apps = workload.Apps()
+	}
+
+	l1i, l1d, l2, dram, redirect, err := cfg.Latencies()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("config: %.0fGHz width=%d rob=%d L1D=%dKB(%s) L2=%dKB\n",
+		cfg.FreqGHz, cfg.Width, cfg.ROBSize, cfg.L1DSizeKB, cfg.L1DWrite, cfg.L2SizeKB)
+	fmt.Printf("latencies (cycles): L1I=%d L1D=%d L2=%d DRAM=%d redirect=%d\n\n",
+		l1i, l1d, l2, dram, redirect)
+
+	fmt.Printf("%-8s %8s %10s %6s %7s %7s %7s %7s %7s %7s %9s\n",
+		"app", "insts", "cycles", "IPC", "L1I%", "L1D%", "L2%", "brMis%", "l2bus%", "fsb%", "simtime")
+	for _, a := range apps {
+		tr := workload.Get(a, *insts)
+		start := time.Now()
+		r, err := sim.Run(cfg, tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simrun: %s: %v\n", a, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s %8d %10d %6.3f %7.2f %7.2f %7.2f %7.2f %7.1f %7.1f %9s\n",
+			a, r.Insts, r.Cycles, r.IPC,
+			r.L1IMissRate*100, r.L1DMissRate*100, r.L2MissRate*100,
+			r.BrMispredRate*100, r.L2BusUtil*100, r.FSBUtil*100,
+			time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/studies"
+)
+
+// axisScan reports, per design-space axis, how violently IPC responds
+// when only that axis changes: the mean and max relative jump between
+// adjacent settings over random base points. Large max jumps identify
+// discontinuities the model must spend capacity on.
+func axisScan(study *studies.Study, app string, insts, bases int, seed uint64) {
+	sp := study.Space
+	oracle := experiments.NewSimOracle(study, app, insts, experiments.IPCOnly)
+	rng := stats.NewRNG(seed)
+	fmt.Printf("axis sensitivity for %s / %s (%d bases):\n", study.Name, app, bases)
+	for p := 0; p < sp.NumParams(); p++ {
+		card := sp.Params[p].Card()
+		var jumps []float64
+		var spans []float64
+		for b := 0; b < bases; b++ {
+			choices := sp.Choices(rng.Intn(sp.Size()))
+			ipcs := make([]float64, card)
+			for c := 0; c < card; c++ {
+				choices[p] = c
+				r, err := oracle.Result(sp.Index(choices))
+				if err != nil {
+					panic(err)
+				}
+				ipcs[c] = r.IPC
+			}
+			lo, hi := stats.Min(ipcs), stats.Max(ipcs)
+			if lo > 0 {
+				spans = append(spans, hi/lo)
+			}
+			for c := 1; c < card; c++ {
+				if ipcs[c-1] > 0 {
+					jumps = append(jumps, math.Abs(ipcs[c]-ipcs[c-1])/ipcs[c-1]*100)
+				}
+			}
+		}
+		fmt.Printf("  %-22s meanJump %6.1f%%  maxJump %7.1f%%  meanSpan %.2fx\n",
+			sp.Params[p].Name, stats.Mean(jumps), stats.Max(jumps), stats.Mean(spans))
+	}
+}

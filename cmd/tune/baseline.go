@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// baselines reports the error of trivial predictors on the same data,
+// to contextualize ensemble error: a global-mean predictor and a
+// 1-nearest-neighbour predictor in encoded input space.
+func baselines(X [][]float64, y []float64, evalX [][]float64, evalY []float64) {
+	mean := stats.Mean(y)
+	var meanErrs, nnErrs []float64
+	for i, x := range evalX {
+		if evalY[i] == 0 {
+			continue
+		}
+		meanErrs = append(meanErrs, math.Abs(mean-evalY[i])/evalY[i]*100)
+		best, bestD := 0, math.Inf(1)
+		for j, tx := range X {
+			var d float64
+			for k := range tx {
+				dd := tx[k] - x[k]
+				d += dd * dd
+			}
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		nnErrs = append(nnErrs, math.Abs(y[best]-evalY[i])/evalY[i]*100)
+	}
+	m1, s1 := stats.MeanStd(meanErrs)
+	m2, s2 := stats.MeanStd(nnErrs)
+	ymean, ysd := stats.MeanStd(y)
+	fmt.Printf("IPC distribution: mean %.3f sd %.3f (min %.3f max %.3f)\n", ymean, ysd, stats.Min(y), stats.Max(y))
+	fmt.Printf("%-24s true %6.2f%% ± %6.2f\n", "baseline: global mean", m1, s1)
+	fmt.Printf("%-24s true %6.2f%% ± %6.2f\n", "baseline: 1-NN", m2, s2)
+}

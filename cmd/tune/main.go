@@ -1,0 +1,119 @@
+// Command tune is the calibration workbench used while building this
+// reproduction; it is kept because downstream users re-tuning workloads
+// or hyperparameters need the same instruments:
+//
+//	tune -app crafty -n 400              # model-quality sweep vs baselines
+//	tune -axes -app mcf                  # per-axis IPC sensitivity of the simulator
+//	tune -simpoint -app mesa             # SimPoint estimate error vs interval length
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/studies"
+)
+
+func main() {
+	app := flag.String("app", "crafty", "")
+	n := flag.Int("n", 400, "train samples")
+	insts := flag.Int("insts", 30000, "")
+	studyName := flag.String("study", "memory", "")
+	axes := flag.Bool("axes", false, "scan per-axis IPC sensitivity instead of training")
+	sp := flag.Bool("simpoint", false, "scan SimPoint estimate error vs interval length")
+	flag.Parse()
+
+	study, err := studies.ByName(*studyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *axes {
+		axisScan(study, *app, *insts, 24, 5)
+		return
+	}
+	if *sp {
+		simpointScan(study, *app, *insts)
+		return
+	}
+	oracle := experiments.NewSimOracle(study, *app, *insts, experiments.IPCOnly)
+	rng := stats.NewRNG(11)
+	trainIdx := study.Space.Sample(rng, *n+400)
+	evalIdx := trainIdx[*n:]
+	trainIdx = trainIdx[:*n]
+
+	enc := encoding.NewEncoder(study.Space)
+	X := make([][]float64, len(trainIdx))
+	for i, idx := range trainIdx {
+		X[i] = enc.EncodeIndex(idx, nil)
+	}
+	ipcs, err := oracle.IPCs(trainIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	Y := make([][]float64, len(ipcs))
+	for i, v := range ipcs {
+		Y[i] = []float64{v}
+	}
+	evalTruth, err := oracle.IPCs(evalIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type variant struct {
+		name string
+		cfg  core.ModelConfig
+	}
+	mk := func(lr, decay float64, hidden []int, epochs, patience int, act ann.Activation) core.ModelConfig {
+		c := core.DefaultModelConfig()
+		c.LearningRate = lr
+		c.Hidden = hidden
+		c.HiddenAct = act
+		c.Train.MaxEpochs = epochs
+		c.Train.Patience = patience
+		c.Train.LRDecay = decay
+		return c
+	}
+	variants := []variant{
+		{"base lr.05 h16 e400", mk(0.05, 0.995, []int{16}, 400, 40, ann.Sigmoid)},
+		{"lr.20 h16 e800", mk(0.20, 0.995, []int{16}, 800, 80, ann.Sigmoid)},
+		{"lr.10 h32 e800", mk(0.10, 0.995, []int{32}, 800, 80, ann.Sigmoid)},
+		{"tanh lr.05 h16 e400", mk(0.05, 0.995, []int{16}, 400, 40, ann.Tanh)},
+		{"tanh lr.02 h32 e800", mk(0.02, 0.998, []int{32}, 800, 80, ann.Tanh)},
+		{"lr.30 h16 e1500 p150", mk(0.30, 0.997, []int{16}, 1500, 150, ann.Sigmoid)},
+	}
+	evalX := make([][]float64, len(evalIdx))
+	for i, idx := range evalIdx {
+		evalX[i] = enc.EncodeIndex(idx, nil)
+	}
+	baselines(X, ipcs, evalX, evalTruth)
+	for _, v := range variants {
+		start := time.Now()
+		ens, err := core.TrainEnsemble(X, Y, v.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var errs []float64
+		x := make([]float64, enc.Width())
+		for i, idx := range evalIdx {
+			enc.EncodeIndex(idx, x)
+			p := ens.Predict(x)
+			if evalTruth[i] != 0 {
+				d := (p - evalTruth[i]) / evalTruth[i] * 100
+				if d < 0 {
+					d = -d
+				}
+				errs = append(errs, d)
+			}
+		}
+		m, sd := stats.MeanStd(errs)
+		fmt.Printf("%-24s true %6.2f%% ± %6.2f  est %6.2f%% ± %6.2f  (%v)\n",
+			v.name, m, sd, ens.Estimate().MeanErr, ens.Estimate().SDErr, time.Since(start).Round(time.Millisecond))
+	}
+}

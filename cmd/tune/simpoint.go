@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simpoint"
+	"repro/internal/stats"
+	"repro/internal/studies"
+	"repro/internal/workload"
+)
+
+// simpointScan measures SimPoint estimate error against full simulation
+// across interval lengths, for a sample of design points.
+func simpointScan(study *studies.Study, app string, insts int) {
+	tr := workload.Get(app, insts)
+	rng := stats.NewRNG(3)
+	idxs := study.Space.Sample(rng, 16)
+	for _, il := range []int{insts / 80, insts / 40, insts / 24, insts / 12} {
+		cfg := simpoint.DefaultConfig()
+		cfg.IntervalLen = il
+		plan, err := simpoint.BuildPlan(tr, cfg)
+		if err != nil {
+			panic(err)
+		}
+		var errs []float64
+		for _, idx := range idxs {
+			c := study.Config(idx)
+			full, err := sim.Run(c, tr)
+			if err != nil {
+				panic(err)
+			}
+			est, err := plan.EstimateIPC(c, tr)
+			if err != nil {
+				panic(err)
+			}
+			e := (est - full.IPC) / full.IPC * 100
+			if e < 0 {
+				e = -e
+			}
+			errs = append(errs, e)
+		}
+		m, sd := stats.MeanStd(errs)
+		fmt.Printf("interval %5d (%2d intervals, k=%2d, %2d points, speedup %4.1fx): |err| %6.2f%% ± %5.2f\n",
+			il, plan.NumIntervals, plan.K, len(plan.Points), float64(insts)/float64(plan.InstructionsPerEstimate()), m, sd)
+	}
+}

@@ -1,0 +1,329 @@
+// Package ann implements the fully connected feed-forward artificial
+// neural networks at the heart of the paper's predictive models
+// (Chapter 3): sigmoid hidden units, gradient-descent training via
+// backpropagation with momentum (Equations 3.1/3.2), small uniform
+// weight initialization, presentation-frequency weighting (so the nets
+// optimize percentage rather than absolute error, §3.3), and early
+// stopping on a held-aside set.
+//
+// The package is self-contained and generic over input/output
+// dimensions; the design-space-specific encoding and the
+// cross-validation ensembling live in internal/encoding and
+// internal/core respectively.
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Activation selects a unit nonlinearity.
+type Activation uint8
+
+// Supported activations. The paper's hidden units are sigmoid
+// (Figure 3.2); the output unit is linear by default here so the
+// regression range is unbounded after denormalization, with Sigmoid
+// available for a paper-exact configuration.
+const (
+	Sigmoid Activation = iota
+	Tanh
+	Linear
+	ReLU
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	}
+	return fmt.Sprintf("activation(%d)", uint8(a))
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns dy/dx expressed in terms of the activation
+// output y (all supported activations admit this form, which avoids
+// recomputing the transcendental).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Config describes a network architecture and its training
+// hyperparameters.
+type Config struct {
+	Inputs  int
+	Hidden  []int // hidden-layer sizes, e.g. {16}
+	Outputs int
+
+	HiddenAct Activation
+	OutputAct Activation
+
+	LearningRate float64 // η in Equation 3.1
+	Momentum     float64 // α in Equation 3.2
+	InitRange    float64 // weights start uniform on [-InitRange, +InitRange]
+	Seed         uint64
+}
+
+// PaperConfig returns the exact hyperparameters of §3.1: one hidden
+// layer of 16 sigmoid units, learning rate 0.001, momentum 0.5, and
+// initial weights uniform on [-0.01, +0.01].
+func PaperConfig(inputs, outputs int) Config {
+	return Config{
+		Inputs:       inputs,
+		Hidden:       []int{16},
+		Outputs:      outputs,
+		HiddenAct:    Sigmoid,
+		OutputAct:    Linear,
+		LearningRate: 0.001,
+		Momentum:     0.5,
+		InitRange:    0.01,
+	}
+}
+
+// Validate reports structural problems with the configuration.
+func (c Config) Validate() error {
+	if c.Inputs <= 0 || c.Outputs <= 0 {
+		return fmt.Errorf("ann: need positive input/output counts, got %d/%d", c.Inputs, c.Outputs)
+	}
+	for i, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("ann: hidden layer %d has non-positive size %d", i, h)
+		}
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("ann: learning rate must be positive, got %g", c.LearningRate)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("ann: momentum must be in [0,1), got %g", c.Momentum)
+	}
+	return nil
+}
+
+// layer holds the weights of one fully connected layer. Weights are
+// stored row-major: w[j*(in+1)+i] is the weight from input i to unit j,
+// with the bias at index in (a constant-1 input, as in Figure 3.2).
+type layer struct {
+	in, out int
+	w       []float64
+	dwPrev  []float64 // previous update, for the momentum term
+	act     Activation
+
+	// Per-example forward/backward scratch.
+	output []float64
+	delta  []float64
+}
+
+func newLayer(in, out int, act Activation, initRange float64, rng *stats.RNG) *layer {
+	l := &layer{
+		in:     in,
+		out:    out,
+		act:    act,
+		w:      make([]float64, out*(in+1)),
+		dwPrev: make([]float64, out*(in+1)),
+		output: make([]float64, out),
+		delta:  make([]float64, out),
+	}
+	for i := range l.w {
+		l.w[i] = rng.Range(-initRange, initRange)
+	}
+	return l
+}
+
+func (l *layer) forward(x []float64) []float64 {
+	stride := l.in + 1
+	for j := 0; j < l.out; j++ {
+		row := l.w[j*stride : j*stride+stride]
+		sum := row[l.in] // bias
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		l.output[j] = l.act.apply(sum)
+	}
+	return l.output
+}
+
+// Network is a feed-forward fully connected neural network.
+type Network struct {
+	cfg    Config
+	layers []*layer
+}
+
+// New constructs a network with freshly initialized weights. It panics
+// on an invalid configuration (architectures are static study
+// descriptions; failing fast is the useful behaviour).
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0xA11CE5)
+	n := &Network{cfg: cfg}
+	prev := cfg.Inputs
+	for _, h := range cfg.Hidden {
+		n.layers = append(n.layers, newLayer(prev, h, cfg.HiddenAct, cfg.InitRange, rng))
+		prev = h
+	}
+	n.layers = append(n.layers, newLayer(prev, cfg.Outputs, cfg.OutputAct, cfg.InitRange, rng))
+	return n
+}
+
+// Config returns the configuration the network was built from.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumWeights returns the total number of trainable weights (including
+// biases).
+func (n *Network) NumWeights() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w)
+	}
+	return total
+}
+
+// Forward runs one example through the network and returns the output
+// activations. The returned slice is scratch owned by the network and
+// is overwritten by the next call; copy it if it must survive.
+func (n *Network) Forward(x []float64) []float64 {
+	if len(x) != n.cfg.Inputs {
+		panic(fmt.Sprintf("ann: got %d inputs, network has %d", len(x), n.cfg.Inputs))
+	}
+	h := x
+	for _, l := range n.layers {
+		h = l.forward(h)
+	}
+	return h
+}
+
+// Predict returns a freshly allocated copy of the network output for x.
+func (n *Network) Predict(x []float64) []float64 {
+	out := n.Forward(x)
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Train performs one stochastic gradient-descent step on a single
+// example with the given learning rate, backpropagating the squared
+// error between the network output and target (Equations 3.1 and 3.2).
+// It returns the example's squared error before the update.
+func (n *Network) Train(x, target []float64, lr float64) float64 {
+	if len(target) != n.cfg.Outputs {
+		panic(fmt.Sprintf("ann: got %d targets, network has %d outputs", len(target), n.cfg.Outputs))
+	}
+	out := n.Forward(x)
+
+	// Output-layer deltas: δ = (o - t) · f'(o).
+	last := n.layers[len(n.layers)-1]
+	var se float64
+	for j := 0; j < last.out; j++ {
+		e := out[j] - target[j]
+		se += e * e
+		last.delta[j] = e * last.act.derivFromOutput(out[j])
+	}
+
+	// Hidden-layer deltas, back to front.
+	for li := len(n.layers) - 2; li >= 0; li-- {
+		l, next := n.layers[li], n.layers[li+1]
+		stride := next.in + 1
+		for j := 0; j < l.out; j++ {
+			var sum float64
+			for k := 0; k < next.out; k++ {
+				sum += next.w[k*stride+j] * next.delta[k]
+			}
+			l.delta[j] = sum * l.act.derivFromOutput(l.output[j])
+		}
+	}
+
+	// Weight updates with momentum: Δw = -η ∂E/∂w + α Δw_prev.
+	mom := n.cfg.Momentum
+	input := x
+	for _, l := range n.layers {
+		stride := l.in + 1
+		for j := 0; j < l.out; j++ {
+			base := j * stride
+			d := l.delta[j]
+			for i := 0; i < l.in; i++ {
+				dw := -lr*d*input[i] + mom*l.dwPrev[base+i]
+				l.w[base+i] += dw
+				l.dwPrev[base+i] = dw
+			}
+			dw := -lr*d + mom*l.dwPrev[base+l.in] // bias input is 1
+			l.w[base+l.in] += dw
+			l.dwPrev[base+l.in] = dw
+		}
+		input = l.output
+	}
+	return se / 2
+}
+
+// Snapshot returns a deep copy of all weights, used by early stopping
+// to remember the best model seen.
+func (n *Network) Snapshot() [][]float64 {
+	s := make([][]float64, len(n.layers))
+	for i, l := range n.layers {
+		s[i] = append([]float64(nil), l.w...)
+	}
+	return s
+}
+
+// Restore loads weights previously captured by Snapshot and clears the
+// momentum state (a restored model should not continue a stale update
+// direction).
+func (n *Network) Restore(s [][]float64) {
+	if len(s) != len(n.layers) {
+		panic("ann: snapshot layer count mismatch")
+	}
+	for i, l := range n.layers {
+		if len(s[i]) != len(l.w) {
+			panic("ann: snapshot size mismatch")
+		}
+		copy(l.w, s[i])
+		for j := range l.dwPrev {
+			l.dwPrev[j] = 0
+		}
+	}
+}
+
+// Clone returns an independent copy of the network (weights and
+// configuration; scratch state is fresh).
+func (n *Network) Clone() *Network {
+	c := New(n.cfg)
+	for i, l := range n.layers {
+		copy(c.layers[i].w, l.w)
+	}
+	return c
+}

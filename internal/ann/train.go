@@ -1,0 +1,210 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Dataset is a set of training examples in network (normalized) space,
+// with the raw (de-normalized) primary target kept alongside so that
+// percentage error — the metric the paper optimizes and reports — can
+// be computed exactly.
+type Dataset struct {
+	X   [][]float64 // inputs
+	Y   [][]float64 // normalized targets
+	Raw []float64   // actual value of the primary target (e.g. IPC)
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Append adds one example.
+func (d *Dataset) Append(x, y []float64, raw float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+	d.Raw = append(d.Raw, raw)
+}
+
+// Subset returns a view of the examples at the given indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{
+		X:   make([][]float64, len(idx)),
+		Y:   make([][]float64, len(idx)),
+		Raw: make([]float64, len(idx)),
+	}
+	for i, j := range idx {
+		s.X[i], s.Y[i], s.Raw[i] = d.X[j], d.Y[j], d.Raw[j]
+	}
+	return s
+}
+
+// Unscaler converts a normalized primary-target prediction back to its
+// actual range (§3.3: predictions are scaled back before percentage
+// errors are computed).
+type Unscaler interface {
+	Unscale(float64) float64
+}
+
+// TrainOpts controls gradient-descent training with early stopping.
+type TrainOpts struct {
+	// MaxEpochs bounds training length. One epoch presents Len(train)
+	// examples (drawn with replacement when weighted sampling is on).
+	MaxEpochs int
+	// Patience stops training after this many consecutive epochs
+	// without improvement of the early-stopping-set percentage error.
+	Patience int
+	// WeightedPresentation presents examples at a frequency
+	// proportional to 1/raw-target, training the net for percentage
+	// rather than absolute error (§3.3). When false, examples are
+	// presented in a random permutation each epoch.
+	WeightedPresentation bool
+	// LRDecay multiplies the learning rate after each epoch (1 = the
+	// paper's constant rate).
+	LRDecay float64
+	// MinImprove is the relative ES-error improvement that resets
+	// patience (guards against drifting forever on noise).
+	MinImprove float64
+	// Seed drives presentation order.
+	Seed uint64
+}
+
+// DefaultTrainOpts returns the training schedule used by this
+// repository's experiments: weighted presentation, early stopping with
+// moderate patience, and gentle learning-rate decay so the paper's
+// small-step behaviour is reached after an accelerated start.
+func DefaultTrainOpts() TrainOpts {
+	return TrainOpts{
+		MaxEpochs:            1200,
+		Patience:             120,
+		WeightedPresentation: false,
+		LRDecay:              0.9975,
+		MinImprove:           1e-4,
+	}
+}
+
+// PaperTrainOpts returns a schedule faithful to §3.1: constant learning
+// rate, weighted presentation, early stopping only.
+func PaperTrainOpts() TrainOpts {
+	return TrainOpts{
+		MaxEpochs:            4000,
+		Patience:             100,
+		WeightedPresentation: true,
+		LRDecay:              1,
+		MinImprove:           0,
+	}
+}
+
+// TrainResult reports how a training run ended.
+type TrainResult struct {
+	Epochs    int     // epochs actually run
+	BestEpoch int     // epoch of the best ES error
+	BestESErr float64 // best mean percentage error on the ES set
+}
+
+// TrainEarlyStopping trains n on train, monitoring mean percentage
+// error on es after every epoch and restoring the best weights seen
+// when training stops (§3.2). The unscaler maps normalized predictions
+// of output 0 back to the actual target range.
+func TrainEarlyStopping(n *Network, train, es *Dataset, un Unscaler, opts TrainOpts) (TrainResult, error) {
+	if train.Len() == 0 {
+		return TrainResult{}, fmt.Errorf("ann: empty training set")
+	}
+	if es.Len() == 0 {
+		return TrainResult{}, fmt.Errorf("ann: empty early-stopping set")
+	}
+	if opts.MaxEpochs <= 0 {
+		return TrainResult{}, fmt.Errorf("ann: MaxEpochs must be positive")
+	}
+	rng := stats.NewRNG(opts.Seed ^ 0x7EA41)
+
+	var alias *stats.Alias
+	if opts.WeightedPresentation {
+		w := make([]float64, train.Len())
+		for i, r := range train.Raw {
+			// Presentation frequency ∝ 1/|target| (§3.3); degenerate
+			// targets fall back to uniform weight.
+			if a := math.Abs(r); a > 1e-12 {
+				w[i] = 1 / a
+			} else {
+				w[i] = 1
+			}
+		}
+		alias = stats.NewAlias(w)
+	}
+
+	lr := n.cfg.LearningRate
+	best := TrainResult{BestESErr: math.Inf(1)}
+	var bestW [][]float64
+	sincebest := 0
+
+	for epoch := 1; epoch <= opts.MaxEpochs; epoch++ {
+		if alias != nil {
+			for k := 0; k < train.Len(); k++ {
+				i := alias.Draw(rng)
+				n.Train(train.X[i], train.Y[i], lr)
+			}
+		} else {
+			for _, i := range rng.Perm(train.Len()) {
+				n.Train(train.X[i], train.Y[i], lr)
+			}
+		}
+		esErr := MeanPercentError(n, es, un)
+		if esErr < best.BestESErr*(1-opts.MinImprove) || bestW == nil {
+			best.BestESErr = esErr
+			best.BestEpoch = epoch
+			bestW = n.Snapshot()
+			sincebest = 0
+		} else {
+			sincebest++
+			if sincebest >= opts.Patience {
+				best.Epochs = epoch
+				n.Restore(bestW)
+				return best, nil
+			}
+		}
+		if opts.LRDecay > 0 && opts.LRDecay != 1 {
+			lr *= opts.LRDecay
+		}
+	}
+	best.Epochs = opts.MaxEpochs
+	n.Restore(bestW)
+	return best, nil
+}
+
+// MeanPercentError evaluates the network's mean percentage error on the
+// primary target over ds, de-normalizing predictions through un.
+func MeanPercentError(n *Network, ds *Dataset, un Unscaler) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	count := 0
+	for i := range ds.X {
+		if ds.Raw[i] == 0 {
+			continue
+		}
+		pred := un.Unscale(n.Forward(ds.X[i])[0])
+		sum += math.Abs(pred-ds.Raw[i]) / math.Abs(ds.Raw[i]) * 100
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// PercentErrors returns the per-example percentage errors of the
+// network on ds (primary target only).
+func PercentErrors(n *Network, ds *Dataset, un Unscaler) []float64 {
+	out := make([]float64, 0, ds.Len())
+	for i := range ds.X {
+		if ds.Raw[i] == 0 {
+			continue
+		}
+		pred := un.Unscale(n.Forward(ds.X[i])[0])
+		out = append(out, math.Abs(pred-ds.Raw[i])/math.Abs(ds.Raw[i])*100)
+	}
+	return out
+}

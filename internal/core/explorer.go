@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/encoding"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// Selection names a batch-selection strategy for the explorer.
+type Selection uint8
+
+// Batch-selection strategies.
+const (
+	// SelectRandom samples each batch uniformly at random without
+	// replacement, the paper's §3.3 procedure.
+	SelectRandom Selection = iota
+	// SelectVariance implements the active-learning extension of
+	// Chapter 7: each batch takes the unsimulated candidates on which
+	// the current ensemble's members disagree most.
+	SelectVariance
+)
+
+// ExploreConfig controls the incremental exploration loop.
+type ExploreConfig struct {
+	Model     ModelConfig
+	BatchSize int // simulations added per round (50 in §5)
+	// MaxSamples bounds the total number of simulations.
+	MaxSamples int
+	// TargetMeanErr stops the loop once the cross-validation estimate
+	// of mean percentage error falls below it (0 disables).
+	TargetMeanErr float64
+	Strategy      Selection
+	// CandidatePool is the number of random unsimulated points scored
+	// per round under SelectVariance (0 selects 20× batch size).
+	CandidatePool int
+	// Exclude lists design points the explorer must never sample —
+	// typically a held-out evaluation set.
+	Exclude []int
+	Seed    uint64
+}
+
+// DefaultExploreConfig mirrors the paper's experimental procedure:
+// batches of 50 random simulations, 10-fold CV ensembles, and a 2%
+// mean-error stopping threshold.
+func DefaultExploreConfig() ExploreConfig {
+	return ExploreConfig{
+		Model:         DefaultModelConfig(),
+		BatchSize:     50,
+		MaxSamples:    2000,
+		TargetMeanErr: 2.0,
+		Strategy:      SelectRandom,
+	}
+}
+
+// Step records one round of the incremental procedure.
+type Step struct {
+	Samples   int           // cumulative simulations after this round
+	Fraction  float64       // Samples / |design space|
+	Est       Estimate      // cross-validation error estimate
+	TrainTime time.Duration // wall-clock ensemble training time
+}
+
+// Explorer runs the paper's fully automated modeling procedure
+// (§3.3, steps 1–8) over one design space and oracle.
+type Explorer struct {
+	sp      *space.Space
+	enc     *encoding.Encoder
+	oracle  Oracle
+	cfg     ExploreConfig
+	rng     *stats.RNG
+	sampled map[int]bool
+
+	indices []int       // simulated design points, in sampling order
+	inputs  [][]float64 // encoded inputs, aligned with indices
+	targets [][]float64 // oracle target vectors, aligned with indices
+
+	ens   *Ensemble
+	steps []Step
+}
+
+// NewExplorer constructs an explorer over the design space with the
+// given oracle.
+func NewExplorer(sp *space.Space, oracle Oracle, cfg ExploreConfig) (*Explorer, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("core: batch size must be positive")
+	}
+	if cfg.MaxSamples < cfg.BatchSize {
+		return nil, fmt.Errorf("core: MaxSamples (%d) below one batch (%d)", cfg.MaxSamples, cfg.BatchSize)
+	}
+	e := &Explorer{
+		sp:      sp,
+		enc:     encoding.NewEncoder(sp),
+		oracle:  oracle,
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed ^ 0xE1F00D),
+		sampled: make(map[int]bool),
+	}
+	for _, idx := range cfg.Exclude {
+		e.sampled[idx] = true // reserved forever, never trained on
+	}
+	return e, nil
+}
+
+// Samples returns the design-point indices simulated so far.
+func (e *Explorer) Samples() []int { return append([]int(nil), e.indices...) }
+
+// Steps returns the per-round history.
+func (e *Explorer) Steps() []Step { return append([]Step(nil), e.steps...) }
+
+// Ensemble returns the most recently trained ensemble (nil before the
+// first round).
+func (e *Explorer) Ensemble() *Ensemble { return e.ens }
+
+// Encoder exposes the input encoding, so callers can encode evaluation
+// points consistently.
+func (e *Explorer) Encoder() *encoding.Encoder { return e.enc }
+
+// Run executes rounds of sample→simulate→train→estimate until the error
+// target is met or MaxSamples is reached, returning the final ensemble.
+func (e *Explorer) Run() (*Ensemble, error) {
+	for len(e.indices) < e.cfg.MaxSamples {
+		n := e.cfg.BatchSize
+		if rem := e.cfg.MaxSamples - len(e.indices); n > rem {
+			n = rem
+		}
+		if err := e.Grow(n); err != nil {
+			return nil, err
+		}
+		if err := e.TrainRound(); err != nil {
+			return nil, err
+		}
+		if e.cfg.TargetMeanErr > 0 && e.ens.Estimate().MeanErr <= e.cfg.TargetMeanErr {
+			break
+		}
+	}
+	if e.ens == nil {
+		return nil, fmt.Errorf("core: explorer ran no rounds")
+	}
+	return e.ens, nil
+}
+
+// Grow selects n new unsimulated design points (per the configured
+// strategy), evaluates them through the oracle, and adds them to the
+// training pool.
+func (e *Explorer) Grow(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	remaining := e.sp.Size() - len(e.indices)
+	if n > remaining {
+		n = remaining
+	}
+	if n == 0 {
+		return nil
+	}
+	var batch []int
+	if e.cfg.Strategy == SelectVariance && e.ens != nil {
+		batch = e.selectByVariance(n)
+	} else {
+		batch = e.selectRandom(n)
+	}
+	targets, err := e.oracle.Evaluate(batch)
+	if err != nil {
+		return fmt.Errorf("core: oracle: %w", err)
+	}
+	if len(targets) != len(batch) {
+		return fmt.Errorf("core: oracle returned %d results for %d points", len(targets), len(batch))
+	}
+	for i, idx := range batch {
+		if len(targets[i]) == 0 {
+			return fmt.Errorf("core: oracle returned empty target vector for point %d", idx)
+		}
+		e.sampled[idx] = true
+		e.indices = append(e.indices, idx)
+		e.inputs = append(e.inputs, e.enc.EncodeIndex(idx, nil))
+		e.targets = append(e.targets, targets[i])
+	}
+	return nil
+}
+
+// TrainRound trains a fresh ensemble on everything simulated so far and
+// records the round.
+func (e *Explorer) TrainRound() error {
+	start := time.Now()
+	cfg := e.cfg.Model
+	// Derive a per-round seed so fold shuffles differ as data grows but
+	// remain reproducible.
+	cfg.Seed = e.cfg.Seed + uint64(len(e.indices))
+	ens, err := TrainEnsemble(e.inputs, e.targets, cfg)
+	if err != nil {
+		return err
+	}
+	e.ens = ens
+	e.steps = append(e.steps, Step{
+		Samples:   len(e.indices),
+		Fraction:  float64(len(e.indices)) / float64(e.sp.Size()),
+		Est:       ens.Estimate(),
+		TrainTime: time.Since(start),
+	})
+	return nil
+}
+
+// selectRandom draws n unsimulated points uniformly.
+func (e *Explorer) selectRandom(n int) []int {
+	out := make([]int, 0, n)
+	for len(out) < n {
+		idx := e.rng.Intn(e.sp.Size())
+		if e.sampled[idx] {
+			continue
+		}
+		e.sampled[idx] = true // reserve immediately to avoid duplicates in batch
+		out = append(out, idx)
+	}
+	// Un-reserve; Grow records them authoritatively after simulation.
+	for _, idx := range out {
+		delete(e.sampled, idx)
+	}
+	return out
+}
+
+// selectByVariance scores a random candidate pool with the current
+// ensemble and returns the n candidates with the highest member
+// disagreement.
+func (e *Explorer) selectByVariance(n int) []int {
+	pool := e.cfg.CandidatePool
+	if pool <= 0 {
+		pool = 20 * n
+	}
+	if pool > e.sp.Size()-len(e.indices) {
+		pool = e.sp.Size() - len(e.indices)
+	}
+	type scored struct {
+		idx int
+		v   float64
+	}
+	cands := make([]scored, 0, pool)
+	seen := make(map[int]bool, pool)
+	x := make([]float64, e.enc.Width())
+	for len(cands) < pool {
+		idx := e.rng.Intn(e.sp.Size())
+		if e.sampled[idx] || seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		e.enc.EncodeIndex(idx, x)
+		_, v := e.ens.PredictVariance(x)
+		cands = append(cands, scored{idx, v})
+	}
+	// Partial selection of the top n by variance.
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].v > cands[best].v {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/space"
+)
+
+// newTestEncoder centralizes encoder construction for core tests.
+func newTestEncoder(sp *space.Space) *encoding.Encoder {
+	return encoding.NewEncoder(sp)
+}
+
+func TestExplorerRunsIncrementally(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	cfg := ExploreConfig{
+		Model:      fastModel(),
+		BatchSize:  20,
+		MaxSamples: 60,
+		Seed:       1,
+	}
+	ex, err := NewExplorer(sp, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens == nil {
+		t.Fatal("no ensemble")
+	}
+	steps := ex.Steps()
+	if len(steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	if steps[len(steps)-1].Samples != len(ex.Samples()) {
+		t.Fatal("step sample count mismatch")
+	}
+	if oracle.calls != len(ex.Samples()) {
+		t.Fatalf("oracle evaluated %d points for %d samples", oracle.calls, len(ex.Samples()))
+	}
+	// Samples are distinct.
+	seen := map[int]bool{}
+	for _, idx := range ex.Samples() {
+		if seen[idx] {
+			t.Fatalf("point %d sampled twice", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestExplorerStopsAtErrorTarget(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	cfg := ExploreConfig{
+		Model:         fastModel(),
+		BatchSize:     25,
+		MaxSamples:    100,
+		TargetMeanErr: 1e9, // absurdly lenient: stop after the first round
+		Seed:          2,
+	}
+	ex, err := NewExplorer(sp, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ex.Samples()); got != 25 {
+		t.Fatalf("explorer took %d samples despite an immediately met target", got)
+	}
+}
+
+func TestExplorerRespectsExclusions(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	exclude := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	cfg := ExploreConfig{
+		Model:      fastModel(),
+		BatchSize:  30,
+		MaxSamples: 90,
+		Exclude:    exclude,
+		Seed:       3,
+	}
+	ex, err := NewExplorer(sp, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	banned := map[int]bool{}
+	for _, e := range exclude {
+		banned[e] = true
+	}
+	for _, s := range ex.Samples() {
+		if banned[s] {
+			t.Fatalf("excluded point %d was sampled", s)
+		}
+	}
+}
+
+func TestExplorerOracleErrorPropagates(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp, fail: true}
+	cfg := ExploreConfig{Model: fastModel(), BatchSize: 10, MaxSamples: 20, Seed: 4}
+	ex, err := NewExplorer(sp, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err == nil {
+		t.Fatal("oracle failure not propagated")
+	}
+}
+
+func TestExplorerConfigValidation(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	if _, err := NewExplorer(sp, oracle, ExploreConfig{Model: fastModel(), BatchSize: 0, MaxSamples: 10}); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := NewExplorer(sp, oracle, ExploreConfig{Model: fastModel(), BatchSize: 20, MaxSamples: 10}); err == nil {
+		t.Fatal("MaxSamples below one batch accepted")
+	}
+}
+
+func TestVarianceSelectionPrefersUncertainPoints(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	cfg := ExploreConfig{
+		Model:      fastModel(),
+		BatchSize:  20,
+		MaxSamples: 60,
+		Strategy:   SelectVariance,
+		Seed:       5,
+	}
+	ex, err := NewExplorer(sp, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First round is random (no model yet); later rounds use variance.
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Samples()) != 60 {
+		t.Fatalf("active explorer sampled %d points", len(ex.Samples()))
+	}
+	// All sampled points distinct even under variance selection.
+	seen := map[int]bool{}
+	for _, idx := range ex.Samples() {
+		if seen[idx] {
+			t.Fatalf("active selection repeated point %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestExplorerGrowBeyondSpaceIsBounded(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	cfg := ExploreConfig{
+		Model:      fastModel(),
+		BatchSize:  sp.Size(),
+		MaxSamples: sp.Size(),
+		Seed:       6,
+	}
+	ex, err := NewExplorer(sp, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Grow(sp.Size() + 50); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Samples()) != sp.Size() {
+		t.Fatalf("grew to %d of %d points", len(ex.Samples()), sp.Size())
+	}
+}

@@ -1,0 +1,133 @@
+// Package encoding maps design points onto neural-network inputs
+// following §3.3 and Figure 3.4 of the paper: cardinal and continuous
+// parameters become single inputs minimax-normalized to [0,1] over
+// their design-space range, nominal parameters are one-hot encoded (one
+// input per level, exactly one set to 1), and boolean parameters become
+// single 0/1 inputs. Targets use the same minimax treatment via Scaler.
+package encoding
+
+import (
+	"math"
+
+	"repro/internal/space"
+)
+
+// Encoder converts choice vectors of one design space into input
+// vectors.
+type Encoder struct {
+	sp    *space.Space
+	width int
+	lo    []float64 // per numeric param: range min
+	hi    []float64 // per numeric param: range max
+	off   []int     // per param: first input index
+}
+
+// NewEncoder builds an encoder for sp. Ranges for minimax normalization
+// come from the space definition itself (the study's min/max values),
+// which is what the paper normalizes by.
+func NewEncoder(sp *space.Space) *Encoder {
+	e := &Encoder{
+		sp:  sp,
+		lo:  make([]float64, sp.NumParams()),
+		hi:  make([]float64, sp.NumParams()),
+		off: make([]int, sp.NumParams()),
+	}
+	w := 0
+	for i := 0; i < sp.NumParams(); i++ {
+		e.off[i] = w
+		p := &sp.Params[i]
+		switch p.Kind {
+		case space.Nominal:
+			w += p.Card()
+		default:
+			lo, hi := sp.ValueRange(i)
+			e.lo[i], e.hi[i] = lo, hi
+			w++
+		}
+	}
+	e.width = w
+	return e
+}
+
+// Width returns the number of network inputs the encoding produces.
+func (e *Encoder) Width() int { return e.width }
+
+// Encode writes the encoded representation of the choice vector into
+// dst, which must have length Width(), and returns dst. Passing nil
+// allocates.
+func (e *Encoder) Encode(choices []int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, e.width)
+	}
+	if len(dst) != e.width {
+		panic("encoding: destination has wrong width")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < e.sp.NumParams(); i++ {
+		p := &e.sp.Params[i]
+		switch p.Kind {
+		case space.Nominal:
+			dst[e.off[i]+choices[i]] = 1
+		case space.Boolean:
+			dst[e.off[i]] = e.sp.Value(choices, i)
+		default:
+			v := e.sp.Value(choices, i)
+			if e.hi[i] > e.lo[i] {
+				dst[e.off[i]] = (v - e.lo[i]) / (e.hi[i] - e.lo[i])
+			} else {
+				dst[e.off[i]] = 0.5 // single-valued axis carries no information
+			}
+		}
+	}
+	return dst
+}
+
+// EncodeIndex encodes the design point with the given flat index.
+func (e *Encoder) EncodeIndex(index int, dst []float64) []float64 {
+	return e.Encode(e.sp.Choices(index), dst)
+}
+
+// Scaler minimax-normalizes a target metric to [0,1] and back (§3.3:
+// "target values ... are encoded in the same way as inputs" and
+// predictions are scaled back to the actual range before error
+// calculations).
+type Scaler struct {
+	Lo, Hi float64
+}
+
+// FitScaler builds a scaler from observed target values, padding the
+// range by pad (fraction, e.g. 0.05) on each side so that unseen design
+// points slightly outside the training range remain representable.
+func FitScaler(values []float64, pad float64) Scaler {
+	if len(values) == 0 {
+		return Scaler{0, 1}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = math.Abs(hi)
+		if span == 0 {
+			span = 1
+		}
+	}
+	return Scaler{Lo: lo - pad*span, Hi: hi + pad*span}
+}
+
+// Scale maps an actual value to normalized space.
+func (s Scaler) Scale(v float64) float64 {
+	if s.Hi == s.Lo {
+		return 0.5
+	}
+	return (v - s.Lo) / (s.Hi - s.Lo)
+}
+
+// Unscale maps a normalized prediction back to the actual range.
+func (s Scaler) Unscale(v float64) float64 {
+	return s.Lo + v*(s.Hi-s.Lo)
+}

@@ -1,0 +1,10 @@
+package experiments
+
+import "repro/internal/simpoint"
+
+// simpointTestConfig keeps SimPoint smoke tests fast.
+func simpointTestConfig() simpoint.Config {
+	cfg := simpoint.DefaultConfig()
+	cfg.MaxK = 5
+	return cfg
+}

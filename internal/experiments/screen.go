@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/pb"
+	"repro/internal/studies"
+)
+
+// PBScreen validates a study's choice of variable parameters the way
+// §4 does: a Plackett–Burman design with foldover over the study's
+// axes, each axis toggling between its lowest and highest setting, with
+// IPC as the response. The returned effects rank the parameters by
+// importance for the given application.
+func PBScreen(study *studies.Study, app string, traceLen int) ([]pb.Effect, error) {
+	sp := study.Space
+	n := sp.NumParams()
+	design, err := pb.ForParams(n)
+	if err != nil {
+		return nil, err
+	}
+	oracle := NewSimOracle(study, app, traceLen, IPCOnly)
+
+	// Translate each design row into a design point: -1 picks the
+	// axis's first setting, +1 its last.
+	indices := make([]int, len(design.Rows))
+	for r, row := range design.Rows {
+		choices := make([]int, n)
+		for c := 0; c < n; c++ {
+			if row[c] > 0 {
+				choices[c] = sp.Params[c].Card() - 1
+			}
+		}
+		indices[r] = sp.Index(choices)
+	}
+	responses, err := oracle.IPCs(indices)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: PB screen: %w", err)
+	}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = sp.Params[i].Name
+	}
+	return design.Effects(responses, names)
+}

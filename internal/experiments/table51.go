@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/studies"
+)
+
+// Table51Cell is one cell group of Table 5.1: true and estimated mean
+// and SD of percentage error at one sample fraction.
+type Table51Cell struct {
+	Fraction int // target sample size in design points
+	CurvePoint
+}
+
+// Table51Row is one application's row of Table 5.1.
+type Table51Row struct {
+	App   string
+	Cells []CurvePoint
+}
+
+// Table51Fractions are the paper's three reporting points, as fractions
+// of the full design space (the paper's column headings are the exact
+// resulting percentages, e.g. 1.08%/2.17%/4.12% for the memory study).
+var Table51Fractions = []float64{0.01, 0.02, 0.04}
+
+// Table51 reproduces one study's half of Table 5.1: for every
+// application, the true and cross-validation-estimated mean/SD of
+// percentage error with training sets of ≈1%, 2% and 4% of the design
+// space.
+func Table51(study *studies.Study, apps []string, cfg CurveConfig) ([]Table51Row, error) {
+	sizes := make([]int, len(Table51Fractions))
+	for i, f := range Table51Fractions {
+		sizes[i] = int(math.Round(f * float64(study.Space.Size())))
+	}
+	rows := make([]Table51Row, 0, len(apps))
+	for _, app := range apps {
+		points, err := CurveAtSizes(study, app, cfg, sizes)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table51Row{App: app, Cells: points})
+	}
+	return rows, nil
+}

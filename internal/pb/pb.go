@@ -1,0 +1,165 @@
+// Package pb implements Plackett–Burman fractional factorial designs
+// with foldover, the parameter-screening methodology of Yi, Lilja and
+// Hawkins that the paper uses to validate its choice of variable
+// parameters (§2, §4): each design parameter is toggled between a low
+// and a high level according to the rows of a PB design matrix, the
+// response (e.g. IPC) is measured for each row, and the magnitude of
+// each parameter's summed signed effect ranks its importance. With
+// foldover (the complement rows appended), main effects are freed of
+// two-factor-interaction aliasing.
+package pb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// generators holds the first rows of standard Plackett–Burman designs
+// (+ = high, - = low); the remaining rows are cyclic right-shifts, plus
+// a final all-minus row.
+var generators = map[int]string{
+	8:  "+++-+--",
+	12: "++-+++---+-",
+	16: "++++-+-++--+---",
+	20: "++--++++-+-+----++-",
+	24: "+++++-+-++--++--+-+----",
+}
+
+// Sizes returns the available design sizes in ascending order.
+func Sizes() []int {
+	out := make([]int, 0, len(generators))
+	for n := range generators {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Design is a Plackett–Burman design matrix: Rows[r][c] is +1 or -1,
+// the level of parameter c in run r.
+type Design struct {
+	Runs    int
+	Columns int
+	Rows    [][]int
+	Folded  bool
+}
+
+// New constructs the standard PB design with the given number of runs
+// (8, 12, 16, 20 or 24), supporting up to runs-1 parameters.
+func New(runs int) (*Design, error) {
+	gen, ok := generators[runs]
+	if !ok {
+		return nil, fmt.Errorf("pb: no %d-run design (have %v)", runs, Sizes())
+	}
+	cols := runs - 1
+	first := make([]int, cols)
+	for i, ch := range gen {
+		if ch == '+' {
+			first[i] = 1
+		} else {
+			first[i] = -1
+		}
+	}
+	d := &Design{Runs: runs, Columns: cols}
+	row := first
+	for r := 0; r < runs-1; r++ {
+		d.Rows = append(d.Rows, append([]int(nil), row...))
+		// Cyclic right shift for the next row.
+		next := make([]int, cols)
+		next[0] = row[cols-1]
+		copy(next[1:], row[:cols-1])
+		row = next
+	}
+	minus := make([]int, cols)
+	for i := range minus {
+		minus[i] = -1
+	}
+	d.Rows = append(d.Rows, minus)
+	return d, nil
+}
+
+// ForParams returns the smallest standard design (with foldover) that
+// can screen n parameters.
+func ForParams(n int) (*Design, error) {
+	for _, runs := range Sizes() {
+		if runs-1 >= n {
+			d, err := New(runs)
+			if err != nil {
+				return nil, err
+			}
+			return d.Foldover(), nil
+		}
+	}
+	return nil, fmt.Errorf("pb: %d parameters exceed the largest design (%d columns)", n, 23)
+}
+
+// Foldover returns a new design with the complement of every row
+// appended, doubling the runs and de-aliasing main effects from
+// two-factor interactions — the variant Yi et al. recommend and the
+// paper uses.
+func (d *Design) Foldover() *Design {
+	f := &Design{Runs: 2 * d.Runs, Columns: d.Columns, Folded: true}
+	f.Rows = append(f.Rows, d.Rows...)
+	for _, row := range d.Rows {
+		comp := make([]int, len(row))
+		for i, v := range row {
+			comp[i] = -v
+		}
+		f.Rows = append(f.Rows, comp)
+	}
+	return f
+}
+
+// Effect is one parameter's screened importance.
+type Effect struct {
+	Param   int     // column index
+	Name    string  // parameter name, when provided
+	Effect  float64 // summed signed response (sign = direction)
+	AbsRank int     // 1 = most important
+}
+
+// Effects computes each parameter's effect from per-run responses:
+// effect_c = Σ_r Rows[r][c] · response[r]. Responses must align with
+// Rows. Names may be nil.
+func (d *Design) Effects(responses []float64, names []string) ([]Effect, error) {
+	if len(responses) != len(d.Rows) {
+		return nil, fmt.Errorf("pb: %d responses for %d runs", len(responses), len(d.Rows))
+	}
+	effects := make([]Effect, d.Columns)
+	for c := 0; c < d.Columns; c++ {
+		var sum float64
+		for r, row := range d.Rows {
+			sum += float64(row[c]) * responses[r]
+		}
+		effects[c] = Effect{Param: c, Effect: sum}
+		if names != nil && c < len(names) {
+			effects[c].Name = names[c]
+		}
+	}
+	// Rank by |effect| descending.
+	order := make([]int, d.Columns)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return abs(effects[order[a]].Effect) > abs(effects[order[b]].Effect)
+	})
+	for rank, c := range order {
+		effects[c].AbsRank = rank + 1
+	}
+	return effects, nil
+}
+
+// Ranked returns the effects sorted most-important first.
+func Ranked(effects []Effect) []Effect {
+	out := append([]Effect(nil), effects...)
+	sort.Slice(out, func(a, b int) bool { return out[a].AbsRank < out[b].AbsRank })
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,164 @@
+package pb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDesignShapes(t *testing.T) {
+	for _, runs := range Sizes() {
+		d, err := New(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Runs != runs || len(d.Rows) != runs || d.Columns != runs-1 {
+			t.Fatalf("%d-run design malformed: %d rows × %d cols", runs, len(d.Rows), d.Columns)
+		}
+		for r, row := range d.Rows {
+			if len(row) != d.Columns {
+				t.Fatalf("%d-run design row %d has %d entries", runs, r, len(row))
+			}
+			for _, v := range row {
+				if v != 1 && v != -1 {
+					t.Fatalf("%d-run design contains %d", runs, v)
+				}
+			}
+		}
+	}
+}
+
+func TestColumnsBalanced(t *testing.T) {
+	// Each column of a PB design has equal +1s and -1s.
+	for _, runs := range Sizes() {
+		d, _ := New(runs)
+		for c := 0; c < d.Columns; c++ {
+			sum := 0
+			for _, row := range d.Rows {
+				sum += row[c]
+			}
+			if sum != 0 {
+				t.Fatalf("%d-run design column %d unbalanced (sum %d)", runs, c, sum)
+			}
+		}
+	}
+}
+
+func TestColumnsOrthogonal(t *testing.T) {
+	// Distinct columns of a PB design are orthogonal: dot product 0.
+	for _, runs := range Sizes() {
+		d, _ := New(runs)
+		for a := 0; a < d.Columns; a++ {
+			for b := a + 1; b < d.Columns; b++ {
+				dot := 0
+				for _, row := range d.Rows {
+					dot += row[a] * row[b]
+				}
+				if dot != 0 {
+					t.Fatalf("%d-run design columns %d,%d not orthogonal (dot %d)", runs, a, b, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestFoldoverComplement(t *testing.T) {
+	d, _ := New(12)
+	f := d.Foldover()
+	if f.Runs != 24 || len(f.Rows) != 24 || !f.Folded {
+		t.Fatal("foldover shape wrong")
+	}
+	for r := 0; r < 12; r++ {
+		for c := 0; c < f.Columns; c++ {
+			if f.Rows[r][c] != -f.Rows[r+12][c] {
+				t.Fatalf("row %d not complemented at column %d", r, c)
+			}
+		}
+	}
+}
+
+func TestUnknownSizeRejected(t *testing.T) {
+	if _, err := New(10); err == nil {
+		t.Fatal("10-run design accepted")
+	}
+}
+
+func TestForParams(t *testing.T) {
+	d, err := ForParams(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Columns < 9 || !d.Folded {
+		t.Fatalf("ForParams(9) gave %d columns, folded=%v", d.Columns, d.Folded)
+	}
+	if _, err := ForParams(30); err == nil {
+		t.Fatal("30 parameters accepted beyond the largest design")
+	}
+}
+
+func TestEffectsRecoverPlantedModel(t *testing.T) {
+	// Response = 5·x2 − 2·x5 + noise: the ranking must put parameter 2
+	// first and 5 second, with correct signs.
+	d, err := ForParams(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(8)
+	responses := make([]float64, len(d.Rows))
+	for r, row := range d.Rows {
+		responses[r] = 5*float64(row[2]) - 2*float64(row[5]) + rng.Range(-0.3, 0.3)
+	}
+	effects, err := d.Effects(responses, []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := Ranked(effects)
+	if ranked[0].Param != 2 {
+		t.Fatalf("top effect is parameter %d, want 2", ranked[0].Param)
+	}
+	if ranked[1].Param != 5 {
+		t.Fatalf("second effect is parameter %d, want 5", ranked[1].Param)
+	}
+	if ranked[0].Effect <= 0 {
+		t.Fatal("positive main effect recovered with wrong sign")
+	}
+	if ranked[1].Effect >= 0 {
+		t.Fatal("negative main effect recovered with wrong sign")
+	}
+	if ranked[0].Name != "p2" {
+		t.Fatalf("name not propagated: %q", ranked[0].Name)
+	}
+	// Effect magnitudes should reflect the planted 5:2 ratio.
+	ratio := math.Abs(ranked[0].Effect) / math.Abs(ranked[1].Effect)
+	if ratio < 1.8 || ratio > 3.2 {
+		t.Fatalf("effect ratio %.2f, want ≈2.5", ratio)
+	}
+}
+
+func TestFoldoverCancelsInteractions(t *testing.T) {
+	// With foldover, a pure two-factor interaction term contributes
+	// nothing to main effects.
+	d, _ := New(12)
+	f := d.Foldover()
+	responses := make([]float64, len(f.Rows))
+	for r, row := range f.Rows {
+		responses[r] = float64(row[0] * row[1]) // pure interaction
+	}
+	effects, err := f.Effects(responses, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range effects {
+		if math.Abs(e.Effect) > 1e-9 {
+			t.Fatalf("interaction leaked into main effect of parameter %d: %v", e.Param, e.Effect)
+		}
+	}
+}
+
+func TestEffectsLengthValidation(t *testing.T) {
+	d, _ := New(12)
+	if _, err := d.Effects([]float64{1, 2, 3}, nil); err == nil {
+		t.Fatal("wrong response count accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+// tournament is an Alpha 21264-style hybrid branch predictor: a local
+// predictor (per-branch history indexing a table of 3-bit counters), a
+// global predictor (2-bit counters indexed by global history), and a
+// chooser (2-bit counters, also global-history indexed) that selects
+// between them per prediction. The "entries" configuration parameter of
+// the processor study (1K/2K/4K, Table 4.2) scales the local tables
+// directly and the global/chooser tables by 4×, preserving the 21264's
+// 1K-local/4K-global proportions.
+type tournament struct {
+	localHist []uint16 // per-PC local history registers
+	localPred []uint8  // 3-bit counters indexed by local history
+	global    []uint8  // 2-bit counters indexed by global history
+	chooser   []uint8  // 2-bit counters: high = trust global
+
+	localHistBits uint
+	ghist         uint64
+	gmask         uint64
+	lmask         uint64
+
+	predictions uint64
+	mispredicts uint64
+}
+
+func newTournament(entries int) tournament {
+	g := entries * 4
+	t := tournament{
+		localHist: make([]uint16, entries),
+		localPred: make([]uint8, entries),
+		global:    make([]uint8, g),
+		chooser:   make([]uint8, g),
+		lmask:     uint64(entries - 1),
+		gmask:     uint64(g - 1),
+	}
+	t.localHistBits = log2(entries)
+	for i := range t.localPred {
+		t.localPred[i] = 3 // weakly not-taken in 3-bit space
+	}
+	for i := range t.global {
+		t.global[i] = 1 // weakly not-taken
+		t.chooser[i] = 1
+	}
+	return t
+}
+
+// predict returns the predicted direction for the branch at pc.
+func (t *tournament) predict(pc uint64) bool {
+	li := (pc >> 2) & t.lmask
+	lp := t.localPred[uint64(t.localHist[li])&t.lmask] >= 4
+	gi := t.ghist & t.gmask
+	gp := t.global[gi] >= 2
+	if t.chooser[gi] >= 2 {
+		return gp
+	}
+	return lp
+}
+
+// update trains all three structures with the resolved outcome and
+// records whether the prediction made for this branch was correct.
+func (t *tournament) update(pc uint64, taken bool) {
+	t.predictions++
+	li := (pc >> 2) & t.lmask
+	lhi := uint64(t.localHist[li]) & t.lmask
+	gi := t.ghist & t.gmask
+
+	lp := t.localPred[lhi] >= 4
+	gp := t.global[gi] >= 2
+	pred := lp
+	if t.chooser[gi] >= 2 {
+		pred = gp
+	}
+	if pred != taken {
+		t.mispredicts++
+	}
+
+	// Chooser trains toward whichever component was right (and only
+	// when they disagree, as in the 21264).
+	if gp != lp {
+		if gp == taken {
+			t.chooser[gi] = sat2Inc(t.chooser[gi])
+		} else {
+			t.chooser[gi] = sat2Dec(t.chooser[gi])
+		}
+	}
+	if taken {
+		t.localPred[lhi] = sat3Inc(t.localPred[lhi])
+		t.global[gi] = sat2Inc(t.global[gi])
+	} else {
+		t.localPred[lhi] = sat3Dec(t.localPred[lhi])
+		t.global[gi] = sat2Dec(t.global[gi])
+	}
+	t.localHist[li] = (t.localHist[li] << 1) | b2u16(taken)
+	t.ghist = (t.ghist << 1) | b2u64(taken)
+}
+
+// mispredictRate returns the fraction of predictions that were wrong.
+func (t *tournament) mispredictRate() float64 {
+	if t.predictions == 0 {
+		return 0
+	}
+	return float64(t.mispredicts) / float64(t.predictions)
+}
+
+// btb is a set-associative branch target buffer with LRU replacement.
+type btb struct {
+	sets    int
+	assoc   int
+	setMask uint64
+	valid   []bool
+	tags    []uint64
+	targets []uint64
+	stamp   []uint64
+	clock   uint64
+}
+
+func newBTB(sets, assoc int) btb {
+	n := sets * assoc
+	return btb{
+		sets:    sets,
+		assoc:   assoc,
+		setMask: uint64(sets - 1),
+		valid:   make([]bool, n),
+		tags:    make([]uint64, n),
+		targets: make([]uint64, n),
+		stamp:   make([]uint64, n),
+	}
+}
+
+// lookup returns the stored target for pc, if any.
+func (b *btb) lookup(pc uint64) (target uint64, hit bool) {
+	idx := pc >> 2
+	set := int(idx&b.setMask) * b.assoc
+	for w := 0; w < b.assoc; w++ {
+		i := set + w
+		if b.valid[i] && b.tags[i] == idx {
+			b.clock++
+			b.stamp[i] = b.clock
+			return b.targets[i], true
+		}
+	}
+	return 0, false
+}
+
+// update installs or refreshes the target for a taken branch at pc.
+func (b *btb) update(pc, target uint64) {
+	idx := pc >> 2
+	set := int(idx&b.setMask) * b.assoc
+	b.clock++
+	lruWay, lruStamp := 0, ^uint64(0)
+	for w := 0; w < b.assoc; w++ {
+		i := set + w
+		if b.valid[i] && b.tags[i] == idx {
+			b.targets[i] = target
+			b.stamp[i] = b.clock
+			return
+		}
+		if !b.valid[i] {
+			if lruStamp != 0 {
+				lruWay, lruStamp = w, 0
+			}
+			continue
+		}
+		if b.stamp[i] < lruStamp {
+			lruWay, lruStamp = w, b.stamp[i]
+		}
+	}
+	i := set + lruWay
+	b.valid[i] = true
+	b.tags[i] = idx
+	b.targets[i] = target
+	b.stamp[i] = b.clock
+}
+
+func sat2Inc(v uint8) uint8 {
+	if v < 3 {
+		return v + 1
+	}
+	return v
+}
+
+func sat2Dec(v uint8) uint8 {
+	if v > 0 {
+		return v - 1
+	}
+	return v
+}
+
+func sat3Inc(v uint8) uint8 {
+	if v < 7 {
+		return v + 1
+	}
+	return v
+}
+
+func sat3Dec(v uint8) uint8 {
+	if v > 0 {
+		return v - 1
+	}
+	return v
+}
+
+func b2u16(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// resetStats clears the prediction counters without disturbing the
+// learned state; used after the functional warmup pass.
+func (t *tournament) resetStats() {
+	t.predictions = 0
+	t.mispredicts = 0
+}

@@ -1,0 +1,129 @@
+package sim
+
+// cache is a set-associative cache with true-LRU replacement. It tracks
+// tags and dirty bits only (the simulator is trace-driven; data values
+// never matter), using flat arrays and a monotonically increasing use
+// stamp for LRU so lookups stay allocation-free on the hot path.
+type cache struct {
+	sets       int
+	assoc      int
+	blockShift uint
+	setMask    uint64
+
+	valid []bool
+	dirty []bool
+	tags  []uint64
+	stamp []uint64
+
+	clock uint64 // LRU use counter
+
+	accesses uint64
+	misses   uint64
+}
+
+// newCache builds a cache from a size in kilobytes, a block size in
+// bytes, and an associativity. Geometry is validated by Config, so this
+// constructor assumes consistent arguments.
+func newCache(sizeKB, block, assoc int) cache {
+	sets := sizeKB * 1024 / (block * assoc)
+	n := sets * assoc
+	return cache{
+		sets:       sets,
+		assoc:      assoc,
+		blockShift: log2(block),
+		setMask:    uint64(sets - 1),
+		valid:      make([]bool, n),
+		dirty:      make([]bool, n),
+		tags:       make([]uint64, n),
+		stamp:      make([]uint64, n),
+	}
+}
+
+// probe reports whether addr currently hits, without updating any
+// replacement state. Used by tests and by write-through stores that do
+// not allocate.
+func (c *cache) probe(addr uint64) bool {
+	line := addr >> c.blockShift
+	set := int(line&c.setMask) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[set+w] && c.tags[set+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// access looks up addr, updates LRU state, allocates on a miss, and
+// reports whether the access hit along with the victim line (valid only
+// when a dirty block was evicted). write marks the block dirty on hit
+// (and on the filled block, for write-allocate callers).
+func (c *cache) access(addr uint64, write bool) (hit bool, victimDirty bool, victimAddr uint64) {
+	c.accesses++
+	line := addr >> c.blockShift
+	set := int(line&c.setMask) * c.assoc
+	c.clock++
+	lruWay, lruStamp := 0, ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		i := set + w
+		if c.valid[i] && c.tags[i] == line {
+			c.stamp[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return true, false, 0
+		}
+		if !c.valid[i] {
+			// Prefer invalid ways; stamp 0 loses every comparison below.
+			if lruStamp != 0 {
+				lruWay, lruStamp = w, 0
+			}
+			continue
+		}
+		if c.stamp[i] < lruStamp {
+			lruWay, lruStamp = w, c.stamp[i]
+		}
+	}
+	c.misses++
+	i := set + lruWay
+	if c.valid[i] && c.dirty[i] {
+		victimDirty = true
+		victimAddr = c.tags[i] << c.blockShift
+	}
+	c.valid[i] = true
+	c.tags[i] = line
+	c.stamp[i] = c.clock
+	c.dirty[i] = write
+	return false, victimDirty, victimAddr
+}
+
+// touchWrite marks an existing line dirty if present (used when a store
+// commits under write-back after its block was filled by a miss).
+func (c *cache) touchWrite(addr uint64) bool {
+	line := addr >> c.blockShift
+	set := int(line&c.setMask) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		i := set + w
+		if c.valid[i] && c.tags[i] == line {
+			c.dirty[i] = true
+			c.clock++
+			c.stamp[i] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// missRate returns misses/accesses, or 0 when the cache was never used.
+func (c *cache) missRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// resetStats clears the access/miss counters without disturbing cache
+// contents; used after the functional warmup pass.
+func (c *cache) resetStats() {
+	c.accesses = 0
+	c.misses = 0
+}

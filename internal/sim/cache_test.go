@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := newCache(4, 64, 2) // 4KB, 64B blocks, 2-way: 32 sets
+	addr := uint64(0x1000)
+	if hit, _, _ := c.access(addr, false); hit {
+		t.Fatal("cold cache hit")
+	}
+	if hit, _, _ := c.access(addr, false); !hit {
+		t.Fatal("second access missed")
+	}
+	// Same block, different offset, still hits.
+	if hit, _, _ := c.access(addr+63, false); !hit {
+		t.Fatal("same-block access missed")
+	}
+	// Next block misses.
+	if hit, _, _ := c.access(addr+64, false); hit {
+		t.Fatal("adjacent block hit without fill")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(1, 64, 2) // 8 sets, 2 ways
+	// Three blocks mapping to the same set (set stride = 8 blocks).
+	a := uint64(0 * 64 * 8)
+	b := uint64(1 * 64 * 8)
+	d := uint64(2 * 64 * 8)
+	c.access(a, false)
+	c.access(b, false)
+	c.access(a, false) // a is now MRU
+	c.access(d, false) // evicts b (LRU)
+	if hit, _, _ := c.access(a, false); !hit {
+		t.Fatal("MRU way was evicted")
+	}
+	if hit, _, _ := c.access(b, false); hit {
+		t.Fatal("LRU way survived eviction")
+	}
+}
+
+func TestCacheDirtyVictim(t *testing.T) {
+	c := newCache(1, 64, 1) // direct-mapped, 16 sets
+	a := uint64(0)
+	conflict := uint64(64 * 16) // same set as a
+	c.access(a, true)           // fill dirty
+	hit, victimDirty, victimAddr := c.access(conflict, false)
+	if hit {
+		t.Fatal("conflicting access hit")
+	}
+	if !victimDirty {
+		t.Fatal("dirty victim not reported")
+	}
+	if victimAddr != a {
+		t.Fatalf("victim address %#x, want %#x", victimAddr, a)
+	}
+	// The evicted-then-refilled line is clean now.
+	_, victimDirty, _ = c.access(a, false)
+	if victimDirty {
+		t.Fatal("clean victim reported dirty")
+	}
+}
+
+func TestCacheProbeDoesNotAllocate(t *testing.T) {
+	c := newCache(1, 64, 1)
+	if c.probe(0x40) {
+		t.Fatal("probe hit a cold cache")
+	}
+	if hit, _, _ := c.access(0x40, false); hit {
+		t.Fatal("probe must not have allocated")
+	}
+	if !c.probe(0x40) {
+		t.Fatal("probe missed after fill")
+	}
+}
+
+func TestCacheTouchWrite(t *testing.T) {
+	c := newCache(1, 64, 1)
+	if c.touchWrite(0x80) {
+		t.Fatal("touchWrite dirtied a missing line")
+	}
+	c.access(0x80, false)
+	if !c.touchWrite(0x80) {
+		t.Fatal("touchWrite missed a present line")
+	}
+	// The line must now write back dirty when evicted.
+	_, victimDirty, _ := c.access(0x80+64*16, false)
+	if !victimDirty {
+		t.Fatal("touched line not dirty at eviction")
+	}
+}
+
+func TestCacheMissRateAccounting(t *testing.T) {
+	c := newCache(4, 64, 2)
+	for i := uint64(0); i < 10; i++ {
+		c.access(i*64, false)
+	}
+	for i := uint64(0); i < 10; i++ {
+		c.access(i*64, false)
+	}
+	if got := c.missRate(); got != 0.5 {
+		t.Fatalf("miss rate %v, want 0.5 (10 cold misses / 20 accesses)", got)
+	}
+	c.resetStats()
+	if c.missRate() != 0 {
+		t.Fatal("resetStats did not clear counters")
+	}
+	if hit, _, _ := c.access(0, false); !hit {
+		t.Fatal("resetStats cleared cache contents")
+	}
+}
+
+func TestCacheFullCapacityResidency(t *testing.T) {
+	// Fill exactly the capacity; everything must still be resident.
+	c := newCache(2, 64, 4) // 2KB: 32 lines
+	for i := uint64(0); i < 32; i++ {
+		c.access(i*64, false)
+	}
+	for i := uint64(0); i < 32; i++ {
+		if hit, _, _ := c.access(i*64, false); !hit {
+			t.Fatalf("line %d evicted within capacity", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+// memSys is the full memory hierarchy: split L1 caches, a unified L2, an
+// L2 bus clocked at core frequency, the 64-bit front-side bus, and
+// SDRAM. The two buses are contended resources: each keeps a
+// next-free-cycle cursor, and every transfer (fills, writebacks, and
+// write-through traffic) occupies them back-to-back, so bandwidth
+// pressure shows up as queueing delay exactly where the studied
+// parameters (L2 bus width, FSB frequency, block sizes, write policy)
+// act.
+type memSys struct {
+	d *derived
+
+	l1i, l1d, l2 cache
+
+	l2BusFree uint64 // next core cycle the L2 bus is free
+	fsbFree   uint64 // next core cycle the FSB is free
+
+	l2BusBusy uint64 // total busy cycles, for utilization stats
+	fsbBusy   uint64
+}
+
+func newMemSys(d *derived) memSys {
+	c := d.cfg
+	return memSys{
+		d:   d,
+		l1i: newCache(c.L1ISizeKB, c.L1IBlock, c.L1IAssoc),
+		l1d: newCache(c.L1DSizeKB, c.L1DBlock, c.L1DAssoc),
+		l2:  newCache(c.L2SizeKB, c.L2Block, c.L2Assoc),
+	}
+}
+
+// acquireL2Bus reserves the L2 bus for dur cycles starting no earlier
+// than t, returning the cycle at which the transfer completes.
+func (m *memSys) acquireL2Bus(t, dur uint64) uint64 {
+	start := m.l2BusFree
+	if start < t {
+		start = t
+	}
+	m.l2BusFree = start + dur
+	m.l2BusBusy += dur
+	return start + dur
+}
+
+// acquireFSB reserves the front-side bus for dur cycles starting no
+// earlier than t, returning the completion cycle.
+func (m *memSys) acquireFSB(t, dur uint64) uint64 {
+	start := m.fsbFree
+	if start < t {
+		start = t
+	}
+	m.fsbFree = start + dur
+	m.fsbBusy += dur
+	return start + dur
+}
+
+// l2Fill services an L1 miss from the L2 (or memory beyond it) beginning
+// at cycle t, and returns the cycle at which the critical word is back
+// at the requesting L1. busD is the L2-bus occupancy of the L1 block
+// being filled. The L2's own victim writeback, if dirty, occupies the
+// FSB but is off the critical path.
+func (m *memSys) l2Fill(addr, t, busD uint64) uint64 {
+	tagsDone := t + m.d.l2Lat
+	hit, victimDirty, _ := m.l2.access(addr, false)
+	dataAt := tagsDone
+	if !hit {
+		if victimDirty {
+			// Dirty L2 victim goes to memory; occupies the FSB only.
+			m.acquireFSB(tagsDone, m.d.fsbBlock)
+		}
+		dataAt = m.acquireFSB(tagsDone, m.d.fsbBlock) + m.d.dramLat
+	}
+	return m.acquireL2Bus(dataAt, busD)
+}
+
+// load performs a data load beginning at cycle t and returns the cycle
+// at which the value is available to dependents.
+func (m *memSys) load(addr, t uint64) uint64 {
+	hit, victimDirty, victimAddr := m.l1d.access(addr, false)
+	l1Done := t + m.d.l1dLat
+	if hit {
+		return l1Done
+	}
+	if victimDirty {
+		// Write the dirty victim back to the L2: bus occupancy plus an
+		// L2 write (marking it dirty there), off the critical path.
+		m.acquireL2Bus(l1Done, m.d.l2BusD)
+		m.l2.touchWrite(victimAddr)
+	}
+	return m.l2Fill(addr, l1Done, m.d.l2BusD)
+}
+
+// store performs the memory-side work of a committed store at cycle t.
+// Under write-back it write-allocates into the L1; under write-through
+// it writes the L1 on a hit only and always pushes the word to the L2
+// (and to memory if the L2 misses — no-allocate at both levels).
+func (m *memSys) store(addr, t uint64) {
+	switch m.d.cfg.L1DWrite {
+	case WriteBack:
+		hit, victimDirty, victimAddr := m.l1d.access(addr, true)
+		if hit {
+			return
+		}
+		l1Done := t + m.d.l1dLat
+		if victimDirty {
+			m.acquireL2Bus(l1Done, m.d.l2BusD)
+			m.l2.touchWrite(victimAddr)
+		}
+		// Fetch the rest of the block (write-allocate).
+		m.l2Fill(addr, l1Done, m.d.l2BusD)
+	case WriteThrough:
+		// Update the L1 copy if present; never allocate, never dirty.
+		if m.l1d.probe(addr) {
+			m.l1d.access(addr, false) // refresh LRU
+		} else {
+			m.l1d.accesses++ // a store lookup that missed
+			m.l1d.misses++
+		}
+		// The write always crosses the L2 bus.
+		wDone := m.acquireL2Bus(t+m.d.l1dLat, m.d.l2BusW)
+		if m.l2.probe(addr) {
+			m.l2.touchWrite(addr)
+		} else {
+			// No-allocate: the word continues to memory over the FSB.
+			m.acquireFSB(wDone+m.d.l2Lat, m.d.fsbWord)
+		}
+	}
+}
+
+// ifetch performs an instruction fetch of the line containing pc
+// beginning at cycle t, returning the cycle the line is available to the
+// fetch engine.
+func (m *memSys) ifetch(pc, t uint64) uint64 {
+	hit, _, _ := m.l1i.access(pc, false)
+	l1Done := t + m.d.l1iLat
+	if hit {
+		return l1Done
+	}
+	return m.l2Fill(pc, l1Done, m.d.l2BusI)
+}

@@ -1,0 +1,136 @@
+package sim
+
+import "testing"
+
+func testDerived(t *testing.T, mutate func(*Config)) *derived {
+	t.Helper()
+	cfg := testConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := cfg.derive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &d
+}
+
+func TestBusAcquireSerializes(t *testing.T) {
+	d := testDerived(t, nil)
+	m := newMemSys(d)
+	// Two transfers requested at the same cycle must queue.
+	end1 := m.acquireL2Bus(100, 4)
+	end2 := m.acquireL2Bus(100, 4)
+	if end1 != 104 {
+		t.Fatalf("first transfer ends at %d", end1)
+	}
+	if end2 != 108 {
+		t.Fatalf("second transfer should queue behind the first: ends at %d", end2)
+	}
+	// A later request after the bus drains starts immediately.
+	if end3 := m.acquireL2Bus(1000, 4); end3 != 1004 {
+		t.Fatalf("idle bus delayed a transfer to %d", end3)
+	}
+	if m.l2BusBusy != 12 {
+		t.Fatalf("busy accounting %d, want 12", m.l2BusBusy)
+	}
+}
+
+func TestLoadLatencyTiers(t *testing.T) {
+	d := testDerived(t, nil)
+	m := newMemSys(d)
+	addr := uint64(0x2000_0000)
+
+	// Cold load: L1 miss → L2 miss → DRAM.
+	coldDone := m.load(addr, 0)
+	if coldDone < d.l1dLat+d.l2Lat+d.dramLat {
+		t.Fatalf("cold load returned in %d cycles, below the physical floor %d",
+			coldDone, d.l1dLat+d.l2Lat+d.dramLat)
+	}
+
+	// Now resident in L1: pure L1 latency.
+	warmDone := m.load(addr, 1000)
+	if warmDone != 1000+d.l1dLat {
+		t.Fatalf("L1 hit took %d cycles, want %d", warmDone-1000, d.l1dLat)
+	}
+
+	// Evict from L1 only (fill conflicting lines); next load = L2 hit.
+	setStride := uint64(d.cfg.L1DSizeKB) * 1024 / uint64(d.cfg.L1DAssoc)
+	for w := 1; w <= d.cfg.L1DAssoc; w++ {
+		m.load(addr+uint64(w)*setStride, 2000)
+	}
+	l2Done := m.load(addr, 3000)
+	l2Cost := l2Done - 3000
+	if l2Cost <= d.l1dLat || l2Cost >= d.dramLat {
+		t.Fatalf("L2 hit cost %d not between L1 (%d) and DRAM (%d)", l2Cost, d.l1dLat, d.dramLat)
+	}
+}
+
+func TestWriteBackDirtyVictimTraffic(t *testing.T) {
+	d := testDerived(t, nil)
+	m := newMemSys(d)
+	addr := uint64(0x3000_0000)
+	m.store(addr, 0) // write-allocate, dirty in L1
+	busyBefore := m.l2BusBusy
+	// Evict the dirty line by filling its set.
+	setStride := uint64(d.cfg.L1DSizeKB) * 1024 / uint64(d.cfg.L1DAssoc)
+	for w := 1; w <= d.cfg.L1DAssoc; w++ {
+		m.load(addr+uint64(w)*setStride, 1000)
+	}
+	if m.l2BusBusy <= busyBefore {
+		t.Fatal("dirty victim writeback produced no L2 bus traffic")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	d := testDerived(t, func(c *Config) { c.L1DWrite = WriteThrough })
+	m := newMemSys(d)
+	addr := uint64(0x4000_0000)
+	m.store(addr, 0)
+	if m.l1d.probe(addr) {
+		t.Fatal("write-through store allocated into L1")
+	}
+	// Every store crosses the L2 bus.
+	if m.l2BusBusy == 0 {
+		t.Fatal("write-through store produced no bus traffic")
+	}
+}
+
+func TestIfetchPath(t *testing.T) {
+	d := testDerived(t, nil)
+	m := newMemSys(d)
+	pc := uint64(0x0040_0000)
+	cold := m.ifetch(pc, 0)
+	if cold <= d.l1iLat {
+		t.Fatalf("cold ifetch returned in %d cycles", cold)
+	}
+	warm := m.ifetch(pc, 1000)
+	if warm != 1000+d.l1iLat {
+		t.Fatalf("warm ifetch took %d cycles, want %d", warm-1000, d.l1iLat)
+	}
+}
+
+func TestDerivedBusTransferCosts(t *testing.T) {
+	// 32B L1 blocks over an 8B L2 bus: 4 cycles per block.
+	d := testDerived(t, func(c *Config) { c.L2BusBytes = 8 })
+	if d.l2BusD != 4 {
+		t.Fatalf("32B block / 8B bus = %d cycles, want 4", d.l2BusD)
+	}
+	// 64B L2 blocks over the 64-bit FSB at 800MHz and a 4GHz core:
+	// 8 beats × 1.25ns × 4GHz = 40 core cycles.
+	if d.fsbBlock != 40 {
+		t.Fatalf("FSB block transfer %d cycles, want 40", d.fsbBlock)
+	}
+	// DRAM: 100ns at 4GHz = 400 cycles.
+	if d.dramLat != 400 {
+		t.Fatalf("DRAM latency %d cycles, want 400", d.dramLat)
+	}
+}
+
+func TestFSBFrequencyScalesTransferCost(t *testing.T) {
+	slow := testDerived(t, func(c *Config) { c.FSBMHz = 533 })
+	fast := testDerived(t, func(c *Config) { c.FSBMHz = 1400 })
+	if slow.fsbBlock <= fast.fsbBlock {
+		t.Fatalf("533MHz FSB (%d cycles) not slower than 1.4GHz (%d)", slow.fsbBlock, fast.fsbBlock)
+	}
+}

@@ -1,0 +1,29 @@
+package simpoint
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testSimConfig returns the memory-study baseline machine for tests.
+func testSimConfig() sim.Config {
+	return sim.Config{
+		FreqGHz: 4, Width: 4, MaxBranches: 16,
+		IntALUs: 4, FPUs: 2, LoadPorts: 2, StorePorts: 2,
+		ROBSize: 128, IntRegs: 96, FPRegs: 96, LSQLoads: 48, LSQStores: 48,
+		BPredEntries: 2048, BTBSets: 2048, BTBAssoc: 2,
+		L1ISizeKB: 32, L1IBlock: 32, L1IAssoc: 2,
+		L1DSizeKB: 32, L1DBlock: 32, L1DAssoc: 2, L1DWrite: sim.WriteBack,
+		L2SizeKB: 1024, L2Block: 64, L2Assoc: 8,
+		L2BusBytes: 32, FSBMHz: 800, SDRAMLatNS: 100,
+	}
+}
+
+// fullIPC runs the complete trace in detail.
+func fullIPC(cfg sim.Config, tr *workload.Trace) (float64, error) {
+	r, err := sim.Run(cfg, tr)
+	if err != nil {
+		return 0, err
+	}
+	return r.IPC, nil
+}

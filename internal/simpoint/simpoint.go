@@ -1,0 +1,377 @@
+// Package simpoint reimplements SimPoint (Sherwood et al. [23]), the
+// partial-simulation technique the paper combines with ANN modeling in
+// §5.3: program execution is split into fixed-length intervals, each
+// interval is summarized by its basic-block vector (BBV), the BBVs are
+// random-projected to a low dimension and clustered with k-means (model
+// order chosen by BIC), and one representative interval per cluster —
+// the one nearest the centroid — is simulated in detail. The
+// application's overall IPC is then estimated from the representative
+// IPCs combined with the cluster weights.
+//
+// The paper scales SimPoint's default 100M-instruction intervals down
+// to 10M for MinneSPEC; this reproduction scales further to fit its
+// synthetic traces (see Config.IntervalLen). Everything else follows
+// the published algorithm.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config controls the offline SimPoint analysis.
+type Config struct {
+	// IntervalLen is the number of instructions per interval. Zero
+	// selects trace length / 40 (minimum 500), mirroring the paper's
+	// practice of scaling interval length to workload length; shorter
+	// intervals raise SimPoint's own error sharply because pipeline and
+	// cache boundary effects stop amortizing.
+	IntervalLen int
+	// MaxK bounds the number of clusters searched (SimPoint's default
+	// is 30; smaller traces need fewer phases).
+	MaxK int
+	// ProjectDim is the random-projection dimensionality (15 in
+	// SimPoint).
+	ProjectDim int
+	// BICThreshold picks the smallest k whose normalized BIC score
+	// reaches this fraction of the best (SimPoint's 0.9).
+	BICThreshold float64
+	// Seed drives projection and clustering.
+	Seed uint64
+}
+
+// DefaultConfig returns the SimPoint settings used by the paper's
+// combination experiments, adapted to synthetic trace lengths.
+func DefaultConfig() Config {
+	return Config{
+		MaxK:         10,
+		ProjectDim:   15,
+		BICThreshold: 0.9,
+	}
+}
+
+// Point is one chosen simulation point.
+type Point struct {
+	Interval int     // interval index
+	Weight   float64 // fraction of execution its cluster represents
+}
+
+// Plan is the result of SimPoint's offline phase for one application
+// trace: which intervals to simulate and how to weight them.
+type Plan struct {
+	IntervalLen  int
+	NumIntervals int
+	K            int
+	Points       []Point
+}
+
+// SpeedupFactor returns the reduction in detailed-simulation
+// instructions the plan achieves: full-trace length over the summed
+// length of the chosen intervals. This is the "8-62×" axis of the
+// paper's Figure 5.7.
+func (p *Plan) SpeedupFactor() float64 {
+	if len(p.Points) == 0 {
+		return 1
+	}
+	return float64(p.NumIntervals) / float64(len(p.Points))
+}
+
+// InstructionsPerEstimate returns the detailed instructions simulated
+// per design-point evaluation under this plan.
+func (p *Plan) InstructionsPerEstimate() int {
+	return len(p.Points) * p.IntervalLen
+}
+
+// BuildPlan runs the offline analysis: BBV profiling, projection,
+// clustering with BIC model selection, and representative choice.
+func BuildPlan(tr *workload.Trace, cfg Config) (*Plan, error) {
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("simpoint: empty trace")
+	}
+	il := cfg.IntervalLen
+	if il == 0 {
+		il = tr.Len() / 40
+		if il < 500 {
+			il = 500
+		}
+	}
+	if il > tr.Len() {
+		il = tr.Len()
+	}
+	n := tr.Len() / il
+	if n < 2 {
+		return &Plan{IntervalLen: il, NumIntervals: 1, K: 1, Points: []Point{{Interval: 0, Weight: 1}}}, nil
+	}
+	maxK := cfg.MaxK
+	if maxK <= 0 {
+		maxK = 10
+	}
+	if maxK > n {
+		maxK = n
+	}
+	dim := cfg.ProjectDim
+	if dim <= 0 {
+		dim = 15
+	}
+	thresh := cfg.BICThreshold
+	if thresh <= 0 || thresh > 1 {
+		thresh = 0.9
+	}
+
+	vecs := projectedBBVs(tr, n, il, dim, cfg.Seed)
+
+	// Search k = 1..maxK, score with BIC, keep every clustering.
+	type candidate struct {
+		k       int
+		bic     float64
+		assign  []int
+		centers [][]float64
+	}
+	cands := make([]candidate, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		assign, centers := kmeans(vecs, k, cfg.Seed+uint64(k))
+		cands = append(cands, candidate{k: k, bic: bic(vecs, assign, centers), assign: assign, centers: centers})
+	}
+	lo, hi := cands[0].bic, cands[0].bic
+	for _, c := range cands[1:] {
+		lo = math.Min(lo, c.bic)
+		hi = math.Max(hi, c.bic)
+	}
+	chosen := cands[len(cands)-1]
+	for _, c := range cands {
+		score := 1.0
+		if hi > lo {
+			score = (c.bic - lo) / (hi - lo)
+		}
+		if score >= thresh {
+			chosen = c
+			break
+		}
+	}
+
+	// Representatives: the interval nearest each cluster centroid.
+	plan := &Plan{IntervalLen: il, NumIntervals: n, K: chosen.k}
+	counts := make([]int, chosen.k)
+	for _, a := range chosen.assign {
+		counts[a]++
+	}
+	for c := 0; c < chosen.k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		best, bestD := -1, math.Inf(1)
+		for i, a := range chosen.assign {
+			if a != c {
+				continue
+			}
+			d := sqDist(vecs[i], chosen.centers[c])
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		plan.Points = append(plan.Points, Point{
+			Interval: best,
+			Weight:   float64(counts[c]) / float64(n),
+		})
+	}
+	sort.Slice(plan.Points, func(i, j int) bool { return plan.Points[i].Interval < plan.Points[j].Interval })
+	return plan, nil
+}
+
+// EstimateIPC simulates only the plan's representative intervals under
+// cfg and combines them into a whole-run IPC estimate: weighted CPI
+// averaging, which is how SimPoint composes per-interval statistics.
+func (p *Plan) EstimateIPC(cfg sim.Config, tr *workload.Trace) (float64, error) {
+	var cpi float64
+	for _, pt := range p.Points {
+		lo := pt.Interval * p.IntervalLen
+		hi := lo + p.IntervalLen
+		if hi > tr.Len() {
+			hi = tr.Len()
+		}
+		r, err := sim.RunWindow(cfg, tr, lo, hi)
+		if err != nil {
+			return 0, err
+		}
+		if r.IPC <= 0 {
+			return 0, fmt.Errorf("simpoint: interval %d produced non-positive IPC", pt.Interval)
+		}
+		cpi += pt.Weight / r.IPC
+	}
+	if cpi <= 0 {
+		return 0, fmt.Errorf("simpoint: no intervals contributed")
+	}
+	return 1 / cpi, nil
+}
+
+// projectedBBVs builds the per-interval basic-block vectors and random-
+// projects them to dim dimensions (Basic Block Distribution Analysis).
+func projectedBBVs(tr *workload.Trace, n, il, dim int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed ^ 0x51A4B0)
+	// Random projection matrix, blocks × dim, entries uniform [-1, 1].
+	proj := make([][]float64, tr.NumBlocks)
+	for b := range proj {
+		row := make([]float64, dim)
+		for d := range row {
+			row[d] = rng.Range(-1, 1)
+		}
+		proj[b] = row
+	}
+	vecs := make([][]float64, n)
+	bbv := make([]float64, tr.NumBlocks)
+	for i := 0; i < n; i++ {
+		for b := range bbv {
+			bbv[b] = 0
+		}
+		lo, hi := i*il, (i+1)*il
+		for j := lo; j < hi; j++ {
+			bbv[tr.Insts[j].Block]++
+		}
+		// Normalize to a distribution so interval length cancels.
+		v := make([]float64, dim)
+		for b, c := range bbv {
+			if c == 0 {
+				continue
+			}
+			w := c / float64(il)
+			row := proj[b]
+			for d := range v {
+				v[d] += w * row[d]
+			}
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// kmeans runs Lloyd's algorithm with k-means++ seeding; deterministic
+// for a given seed.
+func kmeans(vecs [][]float64, k int, seed uint64) (assign []int, centers [][]float64) {
+	n, dim := len(vecs), len(vecs[0])
+	rng := stats.NewRNG(seed ^ 0x6B3A)
+	centers = make([][]float64, k)
+
+	// k-means++ seeding.
+	first := rng.Intn(n)
+	centers[0] = append([]float64(nil), vecs[first]...)
+	d2 := make([]float64, n)
+	for c := 1; c < k; c++ {
+		var total float64
+		for i, v := range vecs {
+			best := math.Inf(1)
+			for _, ctr := range centers[:c] {
+				if d := sqDist(v, ctr); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			x := rng.Float64() * total
+			for i, d := range d2 {
+				if x < d {
+					pick = i
+					break
+				}
+				x -= d
+			}
+		}
+		centers[c] = append([]float64(nil), vecs[pick]...)
+	}
+
+	assign = make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(v, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for d := range v {
+				next[c][d] += v[d]
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(next[c], vecs[rng.Intn(n)])
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(counts[c])
+			}
+		}
+		centers = next
+	}
+	return assign, centers
+}
+
+// bic scores a clustering with the Bayesian Information Criterion using
+// the spherical-Gaussian likelihood of Pelleg & Moore (the formulation
+// SimPoint uses for model selection).
+func bic(vecs [][]float64, assign []int, centers [][]float64) float64 {
+	n := len(vecs)
+	k := len(centers)
+	d := float64(len(vecs[0]))
+	var rss float64
+	counts := make([]int, k)
+	for i, v := range vecs {
+		counts[assign[i]]++
+		rss += sqDist(v, centers[assign[i]])
+	}
+	if n <= k {
+		return math.Inf(-1)
+	}
+	sigma2 := rss / (float64(n-k) * d)
+	if sigma2 < 1e-12 {
+		sigma2 = 1e-12
+	}
+	var loglik float64
+	for c := 0; c < k; c++ {
+		r := float64(counts[c])
+		if r == 0 {
+			continue
+		}
+		loglik += r*math.Log(r/float64(n)) -
+			r*d/2*math.Log(2*math.Pi*sigma2) -
+			(r-1)*d/2
+	}
+	params := float64(k) * (d + 1)
+	return loglik - params/2*math.Log(float64(n))
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestBuildPlanBasics(t *testing.T) {
+	tr := workload.Get("mesa", 20000)
+	plan, err := BuildPlan(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K < 1 || plan.K > 10 {
+		t.Fatalf("k = %d outside [1,10]", plan.K)
+	}
+	if len(plan.Points) == 0 || len(plan.Points) > plan.K {
+		t.Fatalf("%d points for k=%d", len(plan.Points), plan.K)
+	}
+	var total float64
+	for _, p := range plan.Points {
+		if p.Interval < 0 || p.Interval >= plan.NumIntervals {
+			t.Fatalf("interval %d out of range", p.Interval)
+		}
+		if p.Weight <= 0 || p.Weight > 1 {
+			t.Fatalf("weight %v out of range", p.Weight)
+		}
+		total += p.Weight
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", total)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	tr := workload.Get("equake", 20000)
+	a, err := BuildPlan(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K || len(a.Points) != len(b.Points) {
+		t.Fatal("plans differ across identical runs")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("plan points differ across identical runs")
+		}
+	}
+}
+
+func TestSpeedupAndInstructionAccounting(t *testing.T) {
+	tr := workload.Get("gzip", 20000)
+	plan, err := BuildPlan(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SpeedupFactor() <= 1 {
+		t.Fatalf("speedup %v not above 1", plan.SpeedupFactor())
+	}
+	if got := plan.InstructionsPerEstimate(); got != len(plan.Points)*plan.IntervalLen {
+		t.Fatalf("instruction accounting %d", got)
+	}
+	if plan.InstructionsPerEstimate() >= tr.Len() {
+		t.Fatal("plan simulates at least as much as the full trace")
+	}
+}
+
+func TestTinyTraceDegeneratePlan(t *testing.T) {
+	tr := workload.Get("gzip", 300)
+	plan, err := BuildPlan(tr, Config{IntervalLen: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Points) != 1 || plan.Points[0].Weight != 1 {
+		t.Fatalf("tiny trace should yield one full-weight point, got %+v", plan.Points)
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	if _, err := BuildPlan(&workload.Trace{App: "x"}, DefaultConfig()); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestKMeansClustersSeparatedData(t *testing.T) {
+	// Two well-separated blobs must be recovered exactly.
+	rng := stats.NewRNG(5)
+	var vecs [][]float64
+	for i := 0; i < 40; i++ {
+		base := 0.0
+		if i >= 20 {
+			base = 10
+		}
+		vecs = append(vecs, []float64{base + rng.Float64()*0.1, base - rng.Float64()*0.1})
+	}
+	assign, centers := kmeans(vecs, 2, 7)
+	if len(centers) != 2 {
+		t.Fatal("wrong center count")
+	}
+	for i := 1; i < 20; i++ {
+		if assign[i] != assign[0] {
+			t.Fatal("first blob split across clusters")
+		}
+	}
+	for i := 21; i < 40; i++ {
+		if assign[i] != assign[20] {
+			t.Fatal("second blob split across clusters")
+		}
+	}
+	if assign[0] == assign[20] {
+		t.Fatal("blobs merged")
+	}
+}
+
+func TestBICPrefersTrueK(t *testing.T) {
+	// Three tight, separated blobs: BIC at k=3 should beat k=1.
+	rng := stats.NewRNG(6)
+	var vecs [][]float64
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 15; i++ {
+			vecs = append(vecs, []float64{float64(c*8) + rng.Float64()*0.2, rng.Float64() * 0.2})
+		}
+	}
+	a1, c1 := kmeans(vecs, 1, 1)
+	a3, c3 := kmeans(vecs, 3, 1)
+	if bic(vecs, a3, c3) <= bic(vecs, a1, c1) {
+		t.Fatal("BIC does not prefer the true clustering")
+	}
+}
+
+func TestEstimateIPCWithinTolerance(t *testing.T) {
+	// The SimPoint estimate must land within a modest band of the full
+	// simulation — this is the noise level §5.3 feeds the ANN.
+	tr := workload.Get("mesa", 20000)
+	plan, err := BuildPlan(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testSimConfig()
+	est, err := plan.EstimateIPC(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := fullIPC(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(est-full) / full * 100
+	if relErr > 25 {
+		t.Fatalf("SimPoint estimate off by %.1f%% (est %.3f vs full %.3f)", relErr, est, full)
+	}
+}
+
+func TestProjectionDimensionality(t *testing.T) {
+	tr := workload.Get("twolf", 8000)
+	vecs := projectedBBVs(tr, 8, 1000, 15, 3)
+	if len(vecs) != 8 {
+		t.Fatalf("%d vectors", len(vecs))
+	}
+	for _, v := range vecs {
+		if len(v) != 15 {
+			t.Fatalf("projected dimension %d", len(v))
+		}
+	}
+	// Vectors from different phases should not all be identical.
+	same := true
+	for i := 1; i < len(vecs); i++ {
+		if sqDist(vecs[i], vecs[0]) > 1e-12 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("all interval BBVs identical — no phase signal")
+	}
+}

@@ -1,0 +1,236 @@
+// Package space models architectural design spaces: typed parameters
+// (cardinal, continuous, nominal, boolean — the taxonomy of §3.3),
+// constrained cross-products, a bijection between flat indices and
+// parameter-choice vectors, and uniform sampling without replacement.
+//
+// A design point is represented as a choice vector: one small integer
+// per parameter selecting among that parameter's settings. The studies
+// package maps choice vectors onto simulator configurations; the
+// encoding package maps them onto neural-network inputs.
+package space
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Kind classifies a design parameter, which determines how the encoding
+// package presents it to the networks (§3.3): cardinal and continuous
+// parameters become single minimax-scaled inputs, nominal parameters
+// are one-hot encoded, and booleans become single 0/1 inputs.
+type Kind uint8
+
+// Parameter kinds.
+const (
+	Cardinal   Kind = iota // quantitative, discrete settings (e.g. cache size)
+	Continuous             // quantitative, real-valued settings (e.g. frequency)
+	Nominal                // categorical choices with no order (e.g. write policy)
+	Boolean                // on/off
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Cardinal:
+		return "cardinal"
+	case Continuous:
+		return "continuous"
+	case Nominal:
+		return "nominal"
+	case Boolean:
+		return "boolean"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Param is one axis of a design space.
+//
+// Independent parameters list their settings in Values (numeric kinds)
+// or Levels (nominal). A dependent parameter — one whose legal settings
+// are determined by another parameter, like the processor study's
+// register-file sizes, which depend on the ROB size — carries a Table
+// with one row of settings per setting of the controlling parameter;
+// every row must have the same length, so the space remains a clean
+// cross-product of choice indices.
+type Param struct {
+	Name   string
+	Kind   Kind
+	Values []float64 // settings for Cardinal/Continuous/Boolean
+	Levels []string  // settings for Nominal
+
+	DependsOn string      // name of the controlling parameter, or ""
+	Table     [][]float64 // [controllerChoice][ownChoice] settings
+}
+
+// Card returns the number of selectable settings of the parameter.
+func (p *Param) Card() int {
+	switch {
+	case p.DependsOn != "":
+		if len(p.Table) == 0 {
+			return 0
+		}
+		return len(p.Table[0])
+	case p.Kind == Nominal:
+		return len(p.Levels)
+	default:
+		return len(p.Values)
+	}
+}
+
+// Space is a constrained cross-product of parameters.
+type Space struct {
+	Name   string
+	Params []Param
+
+	depIdx []int // per param: index of controlling param, or -1
+	radix  []int // per param: cardinality
+	size   int
+}
+
+// New constructs a Space, validating parameter definitions and resolving
+// dependency references. It panics on malformed definitions: spaces are
+// static study descriptions, so an error here is a programming mistake.
+func New(name string, params []Param) *Space {
+	s := &Space{Name: name, Params: params}
+	byName := make(map[string]int, len(params))
+	for i := range params {
+		if _, dup := byName[params[i].Name]; dup {
+			panic(fmt.Sprintf("space: duplicate parameter %q", params[i].Name))
+		}
+		byName[params[i].Name] = i
+	}
+	s.depIdx = make([]int, len(params))
+	s.radix = make([]int, len(params))
+	s.size = 1
+	for i := range params {
+		p := &params[i]
+		s.depIdx[i] = -1
+		if p.DependsOn != "" {
+			j, ok := byName[p.DependsOn]
+			if !ok {
+				panic(fmt.Sprintf("space: %q depends on unknown parameter %q", p.Name, p.DependsOn))
+			}
+			if j >= i {
+				panic(fmt.Sprintf("space: %q must be declared after its controller %q", p.Name, p.DependsOn))
+			}
+			if len(p.Table) != params[j].Card() {
+				panic(fmt.Sprintf("space: %q table has %d rows, controller %q has %d settings",
+					p.Name, len(p.Table), p.DependsOn, params[j].Card()))
+			}
+			for r := 1; r < len(p.Table); r++ {
+				if len(p.Table[r]) != len(p.Table[0]) {
+					panic(fmt.Sprintf("space: %q table rows have unequal lengths", p.Name))
+				}
+			}
+			s.depIdx[i] = j
+		}
+		c := p.Card()
+		if c == 0 {
+			panic(fmt.Sprintf("space: parameter %q has no settings", p.Name))
+		}
+		s.radix[i] = c
+		s.size *= c
+	}
+	return s
+}
+
+// Size returns the total number of design points.
+func (s *Space) Size() int { return s.size }
+
+// NumParams returns the number of axes.
+func (s *Space) NumParams() int { return len(s.Params) }
+
+// Choices decodes a flat index in [0, Size()) into a choice vector. The
+// mapping is the mixed-radix positional system over parameter
+// cardinalities, so it is a bijection.
+func (s *Space) Choices(index int) []int {
+	if index < 0 || index >= s.size {
+		panic(fmt.Sprintf("space: index %d out of range [0,%d)", index, s.size))
+	}
+	out := make([]int, len(s.Params))
+	for i := len(s.Params) - 1; i >= 0; i-- {
+		out[i] = index % s.radix[i]
+		index /= s.radix[i]
+	}
+	return out
+}
+
+// Index encodes a choice vector back into its flat index.
+func (s *Space) Index(choices []int) int {
+	if len(choices) != len(s.Params) {
+		panic("space: wrong choice-vector length")
+	}
+	idx := 0
+	for i, c := range choices {
+		if c < 0 || c >= s.radix[i] {
+			panic(fmt.Sprintf("space: choice %d out of range for %q", c, s.Params[i].Name))
+		}
+		idx = idx*s.radix[i] + c
+	}
+	return idx
+}
+
+// Value returns the numeric setting of parameter i under the given
+// choice vector, resolving dependent tables. It panics for nominal
+// parameters, which have no numeric value (use LevelName).
+func (s *Space) Value(choices []int, i int) float64 {
+	p := &s.Params[i]
+	if p.Kind == Nominal {
+		panic(fmt.Sprintf("space: parameter %q is nominal; it has no numeric value", p.Name))
+	}
+	if s.depIdx[i] >= 0 {
+		return p.Table[choices[s.depIdx[i]]][choices[i]]
+	}
+	return p.Values[choices[i]]
+}
+
+// LevelName returns the selected level of a nominal parameter.
+func (s *Space) LevelName(choices []int, i int) string {
+	p := &s.Params[i]
+	if p.Kind != Nominal {
+		panic(fmt.Sprintf("space: parameter %q is not nominal", p.Name))
+	}
+	return p.Levels[choices[i]]
+}
+
+// ValueRange returns the minimum and maximum numeric settings parameter
+// i can take anywhere in the space (over all controller settings for
+// dependent parameters). Used for minimax normalization.
+func (s *Space) ValueRange(i int) (lo, hi float64) {
+	p := &s.Params[i]
+	if p.Kind == Nominal {
+		panic(fmt.Sprintf("space: parameter %q is nominal; it has no numeric range", p.Name))
+	}
+	var vals []float64
+	if s.depIdx[i] >= 0 {
+		for _, row := range p.Table {
+			vals = append(vals, row...)
+		}
+	} else {
+		vals = p.Values
+	}
+	return stats.Min(vals), stats.Max(vals)
+}
+
+// Sample draws k distinct design-point indices uniformly at random.
+func (s *Space) Sample(rng *stats.RNG, k int) []int {
+	return rng.SampleWithoutReplacement(s.size, k)
+}
+
+// Describe returns a human-readable rendering of one design point.
+func (s *Space) Describe(index int) string {
+	choices := s.Choices(index)
+	var b strings.Builder
+	fmt.Fprintf(&b, "point %d:", index)
+	for i := range s.Params {
+		p := &s.Params[i]
+		if p.Kind == Nominal {
+			fmt.Fprintf(&b, " %s=%s", p.Name, s.LevelName(choices, i))
+		} else {
+			fmt.Fprintf(&b, " %s=%g", p.Name, s.Value(choices, i))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package space
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func demoSpace() *Space {
+	return New("demo", []Param{
+		{Name: "Cache", Kind: Cardinal, Values: []float64{8, 16, 32}},
+		{Name: "Policy", Kind: Nominal, Levels: []string{"WT", "WB"}},
+		{Name: "Turbo", Kind: Boolean, Values: []float64{0, 1}},
+		{Name: "Freq", Kind: Continuous, Values: []float64{2, 3, 4}},
+		{Name: "Regs", Kind: Cardinal, DependsOn: "Cache", Table: [][]float64{
+			{32, 64}, {64, 96}, {96, 128},
+		}},
+	})
+}
+
+func TestSizeIsProductOfCardinalities(t *testing.T) {
+	sp := demoSpace()
+	if sp.Size() != 3*2*2*3*2 {
+		t.Fatalf("size = %d, want 72", sp.Size())
+	}
+	if sp.NumParams() != 5 {
+		t.Fatalf("params = %d", sp.NumParams())
+	}
+}
+
+func TestIndexChoicesBijection(t *testing.T) {
+	sp := demoSpace()
+	seen := make(map[string]bool)
+	for i := 0; i < sp.Size(); i++ {
+		c := sp.Choices(i)
+		if got := sp.Index(c); got != i {
+			t.Fatalf("Index(Choices(%d)) = %d", i, got)
+		}
+		key := ""
+		for _, v := range c {
+			key += string(rune('a' + v))
+		}
+		if seen[key] {
+			t.Fatalf("choice vector for %d duplicates another index", i)
+		}
+		seen[key] = true
+	}
+}
+
+func TestBijectionProperty(t *testing.T) {
+	sp := demoSpace()
+	check := func(raw uint32) bool {
+		i := int(raw) % sp.Size()
+		return sp.Index(sp.Choices(i)) == i
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependentValues(t *testing.T) {
+	sp := demoSpace()
+	// Cache choice 0 (8KB) → Regs row {32, 64}.
+	choices := []int{0, 0, 0, 0, 1}
+	if v := sp.Value(choices, 4); v != 64 {
+		t.Fatalf("dependent value = %v, want 64", v)
+	}
+	choices[0] = 2 // 32KB → {96, 128}
+	if v := sp.Value(choices, 4); v != 128 {
+		t.Fatalf("dependent value = %v, want 128", v)
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	sp := demoSpace()
+	lo, hi := sp.ValueRange(0)
+	if lo != 8 || hi != 32 {
+		t.Fatalf("Cache range [%v,%v]", lo, hi)
+	}
+	// Dependent parameter range spans the whole table.
+	lo, hi = sp.ValueRange(4)
+	if lo != 32 || hi != 128 {
+		t.Fatalf("Regs range [%v,%v]", lo, hi)
+	}
+}
+
+func TestLevelName(t *testing.T) {
+	sp := demoSpace()
+	choices := sp.Choices(0)
+	choices[1] = 1
+	if sp.LevelName(choices, 1) != "WB" {
+		t.Fatal("LevelName mismatch")
+	}
+}
+
+func TestValuePanicsOnNominal(t *testing.T) {
+	sp := demoSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value on nominal did not panic")
+		}
+	}()
+	sp.Value(sp.Choices(0), 1)
+}
+
+func TestLevelNamePanicsOnNumeric(t *testing.T) {
+	sp := demoSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LevelName on cardinal did not panic")
+		}
+	}()
+	sp.LevelName(sp.Choices(0), 0)
+}
+
+func TestChoicesPanicsOutOfRange(t *testing.T) {
+	sp := demoSpace()
+	for _, idx := range []int{-1, sp.Size()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choices(%d) did not panic", idx)
+				}
+			}()
+			sp.Choices(idx)
+		}()
+	}
+}
+
+func TestSampleDistinctAndInRange(t *testing.T) {
+	sp := demoSpace()
+	rng := stats.NewRNG(3)
+	s := sp.Sample(rng, 30)
+	seen := map[int]bool{}
+	for _, idx := range s {
+		if idx < 0 || idx >= sp.Size() || seen[idx] {
+			t.Fatalf("bad sample %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	sp := demoSpace()
+	d := sp.Describe(0)
+	for _, want := range []string{"Cache=8", "Policy=WT", "Freq=2", "Regs=32"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe(0) = %q missing %q", d, want)
+		}
+	}
+}
+
+func TestNewValidatesDefinitions(t *testing.T) {
+	cases := map[string][]Param{
+		"duplicate names": {
+			{Name: "A", Kind: Cardinal, Values: []float64{1}},
+			{Name: "A", Kind: Cardinal, Values: []float64{2}},
+		},
+		"unknown controller": {
+			{Name: "A", Kind: Cardinal, DependsOn: "Nope", Table: [][]float64{{1}}},
+		},
+		"controller after dependent": {
+			{Name: "A", Kind: Cardinal, DependsOn: "B", Table: [][]float64{{1}, {2}}},
+			{Name: "B", Kind: Cardinal, Values: []float64{1, 2}},
+		},
+		"table row count mismatch": {
+			{Name: "B", Kind: Cardinal, Values: []float64{1, 2}},
+			{Name: "A", Kind: Cardinal, DependsOn: "B", Table: [][]float64{{1, 2}}},
+		},
+		"ragged table": {
+			{Name: "B", Kind: Cardinal, Values: []float64{1, 2}},
+			{Name: "A", Kind: Cardinal, DependsOn: "B", Table: [][]float64{{1, 2}, {3}}},
+		},
+		"empty parameter": {
+			{Name: "A", Kind: Cardinal},
+		},
+	}
+	for name, params := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(name, params)
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Cardinal: "cardinal", Continuous: "continuous",
+		Nominal: "nominal", Boolean: "boolean",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+// Alias implements Vose's alias method for O(1) sampling from a discrete
+// distribution. The paper trains its networks for percentage error by
+// presenting each training point "at a frequency proportional to the
+// inverse of its IPC" (§3.3); Alias makes those weighted presentations
+// cheap even for thousands of points.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from the (unnormalized, non-negative)
+// weights. It panics if weights is empty, if any weight is negative, or
+// if all weights are zero, because sampling would be undefined.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("stats: NewAlias with no weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: NewAlias with negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("stats: NewAlias with all-zero weights")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scale weights so the average bucket holds probability 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Whatever remains is (numerically) exactly 1.
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Draw returns an index sampled proportionally to the construction
+// weights, consuming randomness from r.
+func (a *Alias) Draw(r *RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	r := NewRNG(31)
+	n := 200000
+	counts := make([]float64, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Draw(r)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := counts[i] / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a := NewAlias([]float64{3.5})
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-outcome alias returned nonzero index")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a := NewAlias([]float64{0, 1, 0, 1})
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		v := a.Draw(r)
+		if v == 0 || v == 2 {
+			t.Fatalf("drew zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestAliasExtremeRatio(t *testing.T) {
+	// The 1/IPC presentation weights can span two orders of magnitude;
+	// the table must stay well-formed.
+	a := NewAlias([]float64{0.01, 1, 100})
+	r := NewRNG(3)
+	counts := make([]int, 3)
+	for i := 0; i < 300000; i++ {
+		counts[a.Draw(r)]++
+	}
+	if counts[2] < 290000 {
+		t.Fatalf("heaviest outcome drawn only %d times", counts[2])
+	}
+	if counts[0] == 0 {
+		t.Log("lightest outcome never drawn in 300k (acceptable: p≈1e-4)")
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"negative": {1, -1},
+		"all-zero": {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAlias(%s) did not panic", name)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+func TestAliasLen(t *testing.T) {
+	if NewAlias([]float64{1, 1, 1}).Len() != 3 {
+		t.Fatal("Len mismatch")
+	}
+}

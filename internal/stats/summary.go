@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs (the paper
+// reports the SD of error over a full design space, i.e. a population,
+// not a sample). Returns 0 for fewer than two values.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MeanStd returns Mean and StdDev in one pass over xs.
+func MeanStd(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var s, ss float64
+	for _, x := range xs {
+		s += x
+	}
+	mean = s / float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the minimum of xs; it panics on an empty slice because a
+// silent zero would corrupt minimax normalization.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanAbsPercentError returns the mean of |pred-true|/true*100 over the
+// paired slices, the error metric used throughout the paper. Pairs with
+// a zero true value are skipped (they would make the metric undefined);
+// the simulator never produces a zero IPC for a non-empty trace.
+func MeanAbsPercentError(pred, truth []float64) float64 {
+	return Mean(AbsPercentErrors(pred, truth))
+}
+
+// AbsPercentErrors returns the per-point |pred-true|/true*100 values.
+func AbsPercentErrors(pred, truth []float64) []float64 {
+	if len(pred) != len(truth) {
+		panic("stats: mismatched prediction/truth lengths")
+	}
+	out := make([]float64, 0, len(pred))
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		out = append(out, math.Abs(pred[i]-truth[i])/math.Abs(truth[i])*100)
+	}
+	return out
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// slices, used by the multi-task experiments to verify that auxiliary
+// targets are in fact correlated with IPC.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

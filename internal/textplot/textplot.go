@@ -1,0 +1,83 @@
+// Package textplot renders simple ASCII line charts so the cmd/repro
+// harness can show the paper's figures (learning curves, estimate-vs-
+// true comparisons, training-time scaling) directly in a terminal,
+// alongside the numeric series.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Plot renders the series onto a width×height character grid with axis
+// annotations. X and Y ranges are derived from the data; the y axis
+// starts at zero (the paper's error plots all do).
+func Plot(title string, width, height int, series ...Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var xmin, xmax, ymax float64
+	xmin = math.Inf(1)
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				xmin, xmax = s.X[i], s.X[i]
+				first = false
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first { // no data
+		return title + " (no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	ymax *= 1.05
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i := range s.X {
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			r := height - 1 - int(s.Y[i]/ymax*float64(height-1))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		yVal := ymax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%7.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "        %-*.3g%*.3g\n", width/2+1, xmin, width/2+1, xmax)
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "        [%s]\n", strings.Join(legend, "  "))
+	return b.String()
+}

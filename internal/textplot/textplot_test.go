@@ -1,0 +1,63 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotContainsMarkersAndLegend(t *testing.T) {
+	out := Plot("demo", 40, 8,
+		Series{Name: "alpha", Marker: 'A', X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+		Series{Name: "beta", Marker: 'B', X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+	)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatal("markers missing")
+	}
+	if !strings.Contains(out, "A=alpha") || !strings.Contains(out, "B=beta") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestPlotEmptySeries(t *testing.T) {
+	out := Plot("empty", 40, 8)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot rendered %q", out)
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	out := Plot("one", 30, 6, Series{Name: "s", Marker: '*', X: []float64{5}, Y: []float64{5}})
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not rendered")
+	}
+}
+
+func TestPlotAllZeroYs(t *testing.T) {
+	out := Plot("zeros", 30, 6, Series{Name: "s", Marker: 'z', X: []float64{0, 1}, Y: []float64{0, 0}})
+	if !strings.Contains(out, "z") {
+		t.Fatal("zero-valued series not rendered")
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := Plot("tiny", 1, 1, Series{Name: "s", Marker: 'x', X: []float64{0, 1}, Y: []float64{1, 2}})
+	if len(out) == 0 {
+		t.Fatal("tiny plot empty")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("clamped plot has %d lines", len(lines))
+	}
+}
+
+func TestPlotRowCount(t *testing.T) {
+	out := Plot("rows", 40, 10, Series{Name: "s", Marker: '.', X: []float64{0, 1}, Y: []float64{1, 2}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 grid rows + axis + x labels + legend = 14
+	if len(lines) != 14 {
+		t.Fatalf("plot has %d lines, want 14", len(lines))
+	}
+}

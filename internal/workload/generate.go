@@ -1,0 +1,492 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// region describes one data working set of an application.
+//
+// Addresses are synthesized with a reuse-distance model rather than by
+// sweeping the region linearly. Each region keeps a ring of addresses
+// covering its whole footprint (pre-filled at line spacing, so the
+// footprint is in effect from the first instruction, with no warmup
+// sweep). Every access either
+//
+//   - revisits a ring entry (probability reuse), drawn with a mix of
+//     uniform and recency-biased distances, so a cache holding the whole
+//     footprint hits on nearly all such accesses while a smaller cache
+//     hits roughly in proportion to the fraction it holds — the capacity
+//     behaviour the studied design spaces are built around; or
+//   - performs a fresh access that walks sequentially in 8-byte steps
+//     within a short run of `run` bytes before jumping to a new random
+//     spot. Runs give spatial locality, which is what makes block sizes
+//     and bus widths matter.
+type region struct {
+	size   uint64  // footprint in bytes
+	weight float64 // probability a static memory instruction binds here
+	run    uint64  // bytes walked sequentially per fresh run
+	reuse  float64 // fraction of accesses that revisit the footprint
+	loc    float64 // locality exponent: higher concentrates reuse on recent lines
+	chase  bool    // loads form serialized load→load chains (pointer chasing)
+}
+
+// profile is the complete statistical description of one synthetic
+// application. Every field is fixed at construction; the generator
+// consumes randomness only from a seed derived from the profile, so a
+// given (app, length) pair always yields the identical trace.
+type profile struct {
+	name string
+	seed uint64
+	fp   bool // belongs to the CFP2000 half of the suite
+
+	codeBlocks  int     // static basic blocks (code footprint = Σ block sizes × 4 B)
+	blockMean   float64 // mean instructions per block, incl. terminating branch
+	phases      int     // distinct program phases
+	phaseRepeat int     // times the phase sequence recurs across the trace
+
+	// Non-branch operation mix (relative weights).
+	wIntALU, wIntMul, wFPALU, wFPMul, wFPDiv, wLoad, wStore float64
+
+	depMean   float64 // mean register-dependency distance
+	src1Prob  float64 // probability an instruction has a first register source
+	src2Prob  float64 // probability of a second source
+	loopFrac  float64 // fraction of hot blocks ending in loop branches
+	loopMean  float64 // mean loop trip count
+	brPattern float64 // fraction of conditional branches with periodic outcomes
+	brBias    float64 // taken-probability of unpatterned conditionals
+	brNoise   float64 // spread of per-branch biases
+	hotFrac   float64 // fraction of each phase's blocks that are hot
+
+	regions []region
+}
+
+type blockKind uint8
+
+const (
+	condBlock blockKind = iota
+	loopBlock
+)
+
+// staticInst is one instruction slot of a static basic block.
+type staticInst struct {
+	class  OpClass
+	region int // index into profile.regions, or -1
+}
+
+// staticBlock is one basic block of the synthetic program.
+type staticBlock struct {
+	pc        uint64
+	insts     []staticInst // last entry is always the Branch
+	kind      blockKind
+	bias      float64 // cond: P(taken) when unpatterned
+	pattern   uint32  // cond: periodic outcome bits (0 = unpatterned)
+	patPeriod uint8
+	trip      uint16 // loop: fixed trip count
+	takenSucc int    // block executed after a taken branch
+	fallSucc  int    // block executed after a not-taken branch
+}
+
+const (
+	codeBase    = uint64(0x0040_0000) // text segment base
+	dataBase    = uint64(0x1000_0000) // first data region base
+	regionStep  = uint64(0x4000_0000) // spacing between region bases
+	maxDepDist  = 64                  // register deps never reach further back
+	maxChase    = 400                 // load-chain deps never reach further back
+	ringGranule = 32                  // ring slots ≈ footprint / granule bytes
+	maxRing     = 1 << 18             // ring capacity bound (memory safety)
+)
+
+// regionState is the per-region dynamic state used during generation.
+type regionState struct {
+	ring     []uint64 // addresses spanning the footprint, newest at ringPos-1
+	ringPos  int
+	fresh    uint64 // current fresh-access address
+	runLeft  uint64 // bytes remaining in the current sequential run
+	lastLoad int    // trace index of this region's last load (-1 if none)
+}
+
+// nextAddr synthesizes the next offset for a region access.
+//
+// Reuse distances are drawn log-uniformly (shaped by the locality
+// exponent) over the ring, so the probability of hitting a cache of
+// capacity C lines grows smoothly and logarithmically with C — the
+// empirical shape of real programs' miss-rate curves, and the property
+// that makes the simulated design spaces smooth enough to model, the
+// way the paper's SPEC workloads are. A step/uniform distribution here
+// would instead put a cliff at exactly the footprint size.
+func (st *regionState) nextAddr(r *region, rng *stats.RNG) uint64 {
+	if rng.Float64() < r.reuse {
+		n := len(st.ring)
+		loc := r.loc
+		if loc <= 0 {
+			loc = 1.5
+		}
+		u := math.Pow(rng.Float64(), loc)
+		k := int(math.Exp(u * math.Log(float64(n))))
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		return st.ring[((st.ringPos-k)%n+n)%n]
+	}
+	if st.runLeft >= 8 {
+		st.runLeft -= 8
+		st.fresh = (st.fresh + 8) % r.size
+	} else {
+		st.fresh = uint64(rng.Intn(int(r.size))) &^ 63
+		st.runLeft = r.run
+	}
+	st.ring[st.ringPos] = st.fresh
+	st.ringPos = (st.ringPos + 1) % len(st.ring)
+	return st.fresh
+}
+
+// generate builds the full dynamic trace for profile p.
+func generate(p profile, length int) *Trace {
+	rng := stats.NewRNG(p.seed)
+	blocks, phaseOf := buildProgram(p, rng)
+
+	t := &Trace{App: p.name, NumBlocks: len(blocks), Insts: make([]Inst, 0, length+64)}
+
+	regions := make([]regionState, len(p.regions))
+	for i := range regions {
+		r := &p.regions[i]
+		n := r.size / 64
+		if n < 16 {
+			n = 16
+		}
+		if n > maxRing {
+			n = maxRing
+		}
+		st := regionState{
+			ring:     make([]uint64, n),
+			lastLoad: -1,
+		}
+		// Pre-fill the ring at even spacing so the footprint spans the
+		// whole region from the first access.
+		spacing := r.size / n
+		if spacing < 8 {
+			spacing = 8
+		}
+		for k := range st.ring {
+			st.ring[k] = (uint64(k) * spacing) % r.size
+		}
+		regions[i] = st
+	}
+	loopLeft := make([]int, len(blocks)) // remaining trips per loop block (0 = not active)
+	patPos := make([]uint8, len(blocks)) // position within each branch pattern
+
+	segments := p.phases * p.phaseRepeat
+	if segments == 0 {
+		segments = 1
+	}
+	segLen := length / segments
+	if segLen == 0 {
+		segLen = length
+	}
+
+	cur := phaseStart(p, 0)
+	for len(t.Insts) < length {
+		seg := len(t.Insts) / segLen
+		phase := 0
+		if p.phases > 0 {
+			phase = seg % p.phases
+		}
+		// Force a phase change when the walk crosses a segment boundary.
+		if phaseOf[cur] != phase {
+			cur = phaseStart(p, phase)
+		}
+		b := &blocks[cur]
+
+		for i, si := range b.insts {
+			idx := len(t.Insts)
+			in := Inst{
+				PC:    b.pc + uint64(4*i),
+				Block: uint32(cur),
+				Class: si.class,
+			}
+			// Register dependencies: present with profile probability,
+			// geometric distances clamped to the available history.
+			if rng.Float64() < p.src1Prob {
+				in.Src1 = int32(clampDep(geometric(rng, p.depMean), idx))
+			}
+			if rng.Float64() < p.src2Prob {
+				in.Src2 = int32(clampDep(geometric(rng, p.depMean), idx))
+			}
+			if si.class.IsMem() {
+				r := &p.regions[si.region]
+				st := &regions[si.region]
+				base := dataBase + uint64(si.region)*regionStep
+				in.Addr = base + st.nextAddr(r, rng)
+				if r.chase && si.class == Load {
+					// Pointer chasing: this load's address depends on
+					// the previous load from the same region.
+					if st.lastLoad >= 0 {
+						if d := idx - st.lastLoad; d > 0 && d <= maxChase {
+							in.Src1 = int32(d)
+						}
+					}
+				}
+				if si.class == Load {
+					st.lastLoad = idx
+				}
+			}
+			if si.class == Branch {
+				next := b.fallSucc
+				taken := false
+				switch b.kind {
+				case loopBlock:
+					left := loopLeft[cur]
+					if left == 0 {
+						left = int(b.trip)
+					}
+					left--
+					if left > 0 {
+						loopLeft[cur] = left
+						taken, next = true, b.takenSucc
+					} else {
+						loopLeft[cur] = 0
+					}
+				case condBlock:
+					if b.pattern != 0 {
+						taken = (b.pattern>>patPos[cur])&1 == 1
+						patPos[cur] = (patPos[cur] + 1) % b.patPeriod
+					} else {
+						taken = rng.Float64() < b.bias
+					}
+					if taken {
+						next = b.takenSucc
+					}
+				}
+				in.Taken = taken
+				in.Target = blocks[next].pc
+				cur = next
+			}
+			t.Insts = append(t.Insts, in)
+			if len(t.Insts) >= length {
+				break
+			}
+		}
+	}
+	t.Insts = t.Insts[:length]
+	return t
+}
+
+// buildProgram constructs the static basic blocks and a block→phase map.
+func buildProgram(p profile, rng *stats.RNG) ([]staticBlock, []int) {
+	n := p.codeBlocks
+	blocks := make([]staticBlock, n)
+	phaseOf := make([]int, n)
+	perPhase := n / maxInt(1, p.phases)
+
+	mix := []struct {
+		c OpClass
+		w float64
+	}{
+		{IntALU, p.wIntALU}, {IntMul, p.wIntMul}, {FPALU, p.wFPALU},
+		{FPMul, p.wFPMul}, {FPDiv, p.wFPDiv}, {Load, p.wLoad}, {Store, p.wStore},
+	}
+	var totalMix float64
+	for _, m := range mix {
+		totalMix += m.w
+	}
+	var totalRegion float64
+	for _, r := range p.regions {
+		totalRegion += r.weight
+	}
+
+	pc := codeBase
+	for b := 0; b < n; b++ {
+		phase := minInt(b/maxInt(1, perPhase), maxInt(0, p.phases-1))
+		phaseOf[b] = phase
+		size := 2 + geometricInt(rng, p.blockMean-2)
+		if size > 24 {
+			size = 24
+		}
+		sb := staticBlock{pc: pc}
+		for i := 0; i < size-1; i++ {
+			si := staticInst{region: -1}
+			x := rng.Float64() * totalMix
+			for _, m := range mix {
+				if x < m.w {
+					si.class = m.c
+					break
+				}
+				x -= m.w
+			}
+			if si.class.IsMem() {
+				y := rng.Float64() * totalRegion
+				si.region = len(p.regions) - 1
+				for ri, r := range p.regions {
+					if y < r.weight {
+						si.region = ri
+						break
+					}
+					y -= r.weight
+				}
+			}
+			sb.insts = append(sb.insts, si)
+		}
+		sb.insts = append(sb.insts, staticInst{class: Branch, region: -1})
+
+		// Control-flow structure: each phase has a hot kernel (its
+		// first hotFrac of blocks), where execution concentrates so
+		// predictors and caches see real reuse, and a cold remainder
+		// that is streamed through on occasional excursions — this is
+		// what gives large-code applications their I-cache pressure
+		// without making every branch a one-shot cold miss.
+		lo, hi := phaseRange(p, phase, n)
+		hot := hotBlocks(p, hi-lo)
+		isHot := b < lo+hot
+		sb.fallSucc = b + 1
+		if sb.fallSucc >= hi {
+			sb.fallSucc = lo
+		}
+		switch {
+		case isHot && rng.Float64() < p.loopFrac:
+			sb.kind = loopBlock
+			trip := 2 + geometricInt(rng, p.loopMean-2)
+			if trip > 4096 {
+				trip = 4096
+			}
+			sb.trip = uint16(trip)
+			sb.takenSucc = b // loop back to self
+		case isHot:
+			sb.kind = condBlock
+			if rng.Float64() < p.brPattern {
+				// Periodic outcome: predictable once the local history
+				// warms up, like real loop-carried conditionals.
+				period := 2 + rng.Intn(5) // 2..6
+				var pat uint32
+				for k := 0; k < period; k++ {
+					if rng.Float64() < p.brBias {
+						pat |= 1 << k
+					}
+				}
+				if pat == 0 {
+					pat = 1 // all-zero encodes "unpatterned"; force one taken bit
+				}
+				sb.pattern = pat
+				sb.patPeriod = uint8(period)
+			} else {
+				bias := p.brBias + (rng.Float64()*2-1)*p.brNoise
+				sb.bias = clamp(bias, 0.02, 0.98)
+			}
+			// Taken edges mostly stay in the hot kernel; occasionally
+			// they launch an excursion into the cold code.
+			if rng.Float64() < 0.92 {
+				sb.takenSucc = lo + rng.Intn(hot)
+			} else {
+				sb.takenSucc = lo + rng.Intn(hi-lo)
+			}
+		default:
+			// Cold block: almost always falls through (streaming the
+			// code sequentially); a rare taken edge returns to the hot
+			// kernel.
+			sb.kind = condBlock
+			sb.bias = 0.08
+			sb.takenSucc = lo + rng.Intn(hot)
+		}
+		blocks[b] = sb
+		pc += uint64(4 * size)
+	}
+	return blocks, phaseOf
+}
+
+// hotBlocks returns the number of hot blocks for a phase of the given
+// span.
+func hotBlocks(p profile, span int) int {
+	f := p.hotFrac
+	if f <= 0 {
+		f = 0.2
+	}
+	h := int(f * float64(span))
+	if h < 8 {
+		h = 8
+	}
+	if h > span {
+		h = span
+	}
+	return h
+}
+
+// phaseRange returns the half-open block-ID range [lo, hi) of a phase.
+func phaseRange(p profile, phase, n int) (int, int) {
+	if p.phases <= 1 {
+		return 0, n
+	}
+	per := n / p.phases
+	lo := phase * per
+	hi := lo + per
+	if phase == p.phases-1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+func phaseStart(p profile, phase int) int {
+	lo, _ := phaseRange(p, phase, p.codeBlocks)
+	return lo
+}
+
+// geometric draws 1 + a geometric variate with the given mean.
+func geometric(rng *stats.RNG, mean float64) int {
+	return 1 + geometricInt(rng, mean)
+}
+
+func geometricInt(rng *stats.RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	q := 1 / (mean + 1)
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	v := int(math.Log(1-u) / math.Log(1-q))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+func clampDep(d, idx int) int {
+	if d > maxDepDist {
+		d = maxDepDist
+	}
+	if d > idx {
+		d = idx
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,6 @@
+package workload
+
+import "repro/internal/stats"
+
+// newTestRNG returns a fixed-seed generator for test helpers.
+func newTestRNG() *stats.RNG { return stats.NewRNG(0xBEEF) }

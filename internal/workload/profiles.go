@@ -1,0 +1,124 @@
+package workload
+
+// profiles defines the eight synthetic applications standing in for the
+// paper's SPEC CINT2000 (gzip, mcf, crafty, twolf) and CFP2000 (mgrid,
+// applu, mesa, equake) benchmarks with MinneSPEC reduced inputs.
+//
+// The profiles are tuned so each application stresses the design spaces
+// the way its namesake does in the literature:
+//
+//   - gzip:   small working set, predictable branches, high baseline IPC;
+//     mostly insensitive to large caches.
+//   - mcf:    pointer-chasing over multi-megabyte structures, serialized
+//     load→load chains; dominated by L2/DRAM behaviour.
+//   - crafty: large instruction footprint, short blocks, branchy integer
+//     code; sensitive to L1I size and branch-predictor capacity.
+//   - twolf:  many small phases, unpredictable branches, conflict-prone
+//     mixed working sets; the hardest app to model (matching the paper,
+//     where twolf's error falls most slowly).
+//   - mgrid:  long strided FP loops over large arrays; high ILP, loop
+//     branches, bandwidth-hungry.
+//   - applu:  FP stencil with divides; mixes long-latency FP with large
+//     strided sweeps.
+//   - mesa:   compute-bound FP with a modest working set; least memory
+//     sensitive of the FP codes.
+//   - equake: irregular FP memory references over large meshes; both
+//     FP-latency and memory sensitive.
+var profiles = map[string]profile{
+	"gzip": {
+		name: "gzip", seed: 0x67A1_0001, fp: false,
+		codeBlocks: 320, blockMean: 7, phases: 3, phaseRepeat: 3,
+		wIntALU: 50, wIntMul: 2, wLoad: 20, wStore: 9,
+		depMean: 6, src1Prob: 0.75, src2Prob: 0.30,
+		loopFrac: 0.35, loopMean: 12, brPattern: 0.70, brBias: 0.90, brNoise: 0.08, hotFrac: 0.25,
+		regions: []region{
+			{size: 16 << 10, weight: 0.72, run: 256, reuse: 0.97, loc: 2.2},
+			{size: 384 << 10, weight: 0.26, run: 128, reuse: 0.94, loc: 2.0},
+			{size: 2 << 20, weight: 0.02, run: 256, reuse: 0.80, loc: 1.5},
+		},
+	},
+	"mcf": {
+		name: "mcf", seed: 0x3C0F_0002, fp: false,
+		codeBlocks: 480, blockMean: 6, phases: 3, phaseRepeat: 2,
+		wIntALU: 40, wIntMul: 1, wLoad: 27, wStore: 10,
+		depMean: 4, src1Prob: 0.80, src2Prob: 0.35,
+		loopFrac: 0.25, loopMean: 8, brPattern: 0.45, brBias: 0.78, brNoise: 0.12, hotFrac: 0.2,
+		regions: []region{
+			{size: 32 << 10, weight: 0.34, run: 128, reuse: 0.95, loc: 1.8},
+			{size: 640 << 10, weight: 0.48, run: 64, reuse: 0.92, loc: 1.65, chase: true},
+			{size: 2 << 20, weight: 0.18, run: 64, reuse: 0.85, loc: 1.5, chase: true},
+		},
+	},
+	"crafty": {
+		name: "crafty", seed: 0xC4AF_0003, fp: false,
+		codeBlocks: 2400, blockMean: 5, phases: 4, phaseRepeat: 2,
+		wIntALU: 52, wIntMul: 4, wLoad: 19, wStore: 8,
+		depMean: 5, src1Prob: 0.75, src2Prob: 0.35,
+		loopFrac: 0.20, loopMean: 6, brPattern: 0.55, brBias: 0.82, brNoise: 0.10, hotFrac: 0.15,
+		regions: []region{
+			{size: 24 << 10, weight: 0.56, run: 128, reuse: 0.95, loc: 2.0},
+			{size: 512 << 10, weight: 0.40, run: 64, reuse: 0.93, loc: 1.9},
+			{size: 2 << 20, weight: 0.04, run: 64, reuse: 0.80, loc: 1.5},
+		},
+	},
+	"twolf": {
+		name: "twolf", seed: 0x2F01_0004, fp: false,
+		codeBlocks: 900, blockMean: 5, phases: 6, phaseRepeat: 2,
+		wIntALU: 46, wIntMul: 3, wLoad: 22, wStore: 9,
+		depMean: 5, src1Prob: 0.80, src2Prob: 0.35,
+		loopFrac: 0.22, loopMean: 5, brPattern: 0.35, brBias: 0.72, brNoise: 0.15, hotFrac: 0.2,
+		regions: []region{
+			{size: 24 << 10, weight: 0.36, run: 64, reuse: 0.95, loc: 1.9},
+			{size: 768 << 10, weight: 0.54, run: 64, reuse: 0.92, loc: 1.7},
+			{size: 3 << 20, weight: 0.10, run: 64, reuse: 0.82, loc: 1.5},
+		},
+	},
+	"mgrid": {
+		name: "mgrid", seed: 0x46BD_0005, fp: true,
+		codeBlocks: 200, blockMean: 9, phases: 3, phaseRepeat: 3,
+		wIntALU: 18, wFPALU: 24, wFPMul: 14, wLoad: 26, wStore: 9,
+		depMean: 10, src1Prob: 0.70, src2Prob: 0.40,
+		loopFrac: 0.60, loopMean: 25, brPattern: 0.80, brBias: 0.95, brNoise: 0.03, hotFrac: 0.35,
+		regions: []region{
+			{size: 32 << 10, weight: 0.30, run: 512, reuse: 0.94, loc: 2.0},
+			{size: 1 << 20, weight: 0.60, run: 512, reuse: 0.92, loc: 1.8},
+			{size: 4 << 20, weight: 0.10, run: 512, reuse: 0.80, loc: 1.5},
+		},
+	},
+	"applu": {
+		name: "applu", seed: 0xAB01_0006, fp: true,
+		codeBlocks: 260, blockMean: 10, phases: 4, phaseRepeat: 2,
+		wIntALU: 16, wFPALU: 22, wFPMul: 14, wFPDiv: 3, wLoad: 25, wStore: 10,
+		depMean: 9, src1Prob: 0.72, src2Prob: 0.40,
+		loopFrac: 0.55, loopMean: 18, brPattern: 0.78, brBias: 0.94, brNoise: 0.04, hotFrac: 0.35,
+		regions: []region{
+			{size: 64 << 10, weight: 0.32, run: 512, reuse: 0.93, loc: 2.0},
+			{size: 1 << 20, weight: 0.58, run: 256, reuse: 0.92, loc: 1.8},
+			{size: 4 << 20, weight: 0.10, run: 512, reuse: 0.80, loc: 1.5},
+		},
+	},
+	"mesa": {
+		name: "mesa", seed: 0x3E5A_0007, fp: true,
+		codeBlocks: 1200, blockMean: 7, phases: 4, phaseRepeat: 2,
+		wIntALU: 26, wFPALU: 22, wFPMul: 16, wFPDiv: 1, wLoad: 18, wStore: 7,
+		depMean: 8, src1Prob: 0.72, src2Prob: 0.38,
+		loopFrac: 0.30, loopMean: 10, brPattern: 0.65, brBias: 0.88, brNoise: 0.07, hotFrac: 0.2,
+		regions: []region{
+			{size: 16 << 10, weight: 0.62, run: 128, reuse: 0.96, loc: 2.2},
+			{size: 512 << 10, weight: 0.34, run: 256, reuse: 0.93, loc: 1.9},
+			{size: 2 << 20, weight: 0.04, run: 64, reuse: 0.80, loc: 1.5},
+		},
+	},
+	"equake": {
+		name: "equake", seed: 0xE0AE_0008, fp: true,
+		codeBlocks: 420, blockMean: 8, phases: 3, phaseRepeat: 3,
+		wIntALU: 20, wFPALU: 20, wFPMul: 12, wFPDiv: 1, wLoad: 26, wStore: 10,
+		depMean: 7, src1Prob: 0.75, src2Prob: 0.38,
+		loopFrac: 0.40, loopMean: 10, brPattern: 0.70, brBias: 0.85, brNoise: 0.06, hotFrac: 0.25,
+		regions: []region{
+			{size: 32 << 10, weight: 0.30, run: 128, reuse: 0.95, loc: 1.9},
+			{size: 768 << 10, weight: 0.56, run: 64, reuse: 0.92, loc: 1.65},
+			{size: 4 << 20, weight: 0.14, run: 128, reuse: 0.82, loc: 1.45},
+		},
+	},
+}
