@@ -317,6 +317,115 @@ func BenchmarkEnsemblePredict(b *testing.B) {
 	b.Logf("one prediction replaces one %d-instruction simulation", benchTrace)
 }
 
+// synthIPC is a cheap deterministic stand-in for simulated IPC, used by
+// the modeling-kernel benchmarks so they measure training/prediction
+// cost rather than simulator cost.
+func synthIPC(idx int) float64 {
+	h := uint64(idx)*0x9E3779B97F4A7C15 + 1
+	h ^= h >> 33
+	return 0.3 + 1.7*float64(h%1000)/1000
+}
+
+// benchTrainingSet builds n encoded (input, target) pairs over a study.
+func benchTrainingSet(st *studies.Study, n int) (x, y [][]float64) {
+	enc := newEncoder(st)
+	x = make([][]float64, n)
+	y = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		idx := (i * 131) % st.Space.Size()
+		x[i] = enc.EncodeIndex(idx, nil)
+		y[i] = []float64{synthIPC(idx)}
+	}
+	return x, y
+}
+
+// BenchmarkTrainEnsemble measures 10-fold ensemble training with the
+// cross-validation folds trained sequentially (Workers=1) versus on the
+// full worker pool. Fold seeds are configuration-derived, so both
+// settings produce identical ensembles; on a machine with k ≥ 4 cores
+// the parallel case approaches a k-fold speedup (folds are
+// embarrassingly parallel).
+func BenchmarkTrainEnsemble(b *testing.B) {
+	st := studies.Processor()
+	x, y := benchTrainingSet(st, 200)
+	cfg := benchModel()
+	cfg.Train.MaxEpochs = 60
+	cfg.Train.Patience = 20
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential-folds", 1},
+		{"parallel-folds", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c := cfg
+			c.Workers = bc.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Seed = uint64(i)
+				if _, err := core.TrainEnsemble(x, y, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictBatch measures scoring a large candidate pool — the
+// SelectVariance / full-space-sweep hot path — through the per-point
+// Predict loop versus the batched PredictBatch kernel. One benchmark
+// iteration scores the whole pool, so ns/op is directly comparable
+// across sub-benchmarks.
+func BenchmarkPredictBatch(b *testing.B) {
+	st := studies.Processor()
+	x, y := benchTrainingSet(st, 150)
+	cfg := benchModel()
+	cfg.Train.MaxEpochs = 40
+	cfg.Train.Patience = 15
+	ens, err := core.TrainEnsemble(x, y, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 4096
+	enc := newEncoder(st)
+	width := enc.Width()
+	points := make([][]float64, rows)
+	flat := make([]float64, rows*width)
+	for i := 0; i < rows; i++ {
+		idx := (i * 257) % st.Space.Size()
+		points[i] = enc.EncodeIndex(idx, nil)
+		copy(flat[i*width:(i+1)*width], points[i])
+	}
+	out := make([]float64, rows)
+
+	b.Run("per-point", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rows; r++ {
+				out[r] = ens.Predict(points[r])
+			}
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		ens.SetWorkers(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ens.PredictBatch(flat, rows, out)
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
+	b.Run("batched-parallel", func(b *testing.B) {
+		ens.SetWorkers(0) // GOMAXPROCS
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ens.PredictBatch(flat, rows, out)
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
+}
+
 // BenchmarkWorkloadGeneration measures synthetic-trace construction.
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	b.ReportAllocs()

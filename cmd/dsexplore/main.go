@@ -29,6 +29,7 @@ func main() {
 	traceLen := flag.Int("insts", 30000, "instructions per simulation")
 	paperCfg := flag.Bool("paper", false, "use the paper's exact ANN hyperparameters (slower training)")
 	active := flag.Bool("active", false, "use variance-driven (active) sampling instead of random")
+	workers := flag.Int("workers", 0, "goroutines for fold training and batched prediction (0 = all cores)")
 	seed := flag.Uint64("seed", 1, "")
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	if *paperCfg {
 		cfg.Model = core.PaperConfig()
 	}
+	cfg.Model.Workers = *workers
 	if *active {
 		cfg.Strategy = core.SelectVariance
 	}
@@ -64,14 +66,24 @@ func main() {
 	}
 	fmt.Printf("\n%d simulations, %v wall clock\n", oracle.SimulationsRun(), time.Since(start).Round(time.Millisecond))
 
-	// Predicted optimum over the whole space, verified once.
+	// Predicted optimum over the whole space, verified once. The sweep
+	// scores the full design space in batched chunks.
 	enc := ex.Encoder()
+	width := enc.Width()
+	const sweepChunk = 4096
+	xs := make([]float64, sweepChunk*width)
+	preds := make([]float64, sweepChunk)
 	bestIdx, bestIPC := 0, 0.0
-	x := make([]float64, enc.Width())
-	for i := 0; i < study.Space.Size(); i++ {
-		enc.EncodeIndex(i, x)
-		if p := ens.Predict(x); p > bestIPC {
-			bestIdx, bestIPC = i, p
+	for start := 0; start < study.Space.Size(); start += sweepChunk {
+		rows := min(sweepChunk, study.Space.Size()-start)
+		for i := 0; i < rows; i++ {
+			enc.EncodeIndex(start+i, xs[i*width:(i+1)*width])
+		}
+		ens.PredictBatch(xs[:rows*width], rows, preds[:rows])
+		for i := 0; i < rows; i++ {
+			if preds[i] > bestIPC {
+				bestIdx, bestIPC = start+i, preds[i]
+			}
 		}
 	}
 	truth, err := oracle.IPCs([]int{bestIdx})

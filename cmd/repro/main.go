@@ -32,13 +32,14 @@ func main() {
 	scaleName := flag.String("scale", "quick", "budget preset: quick|standard|full")
 	studyName := flag.String("study", "", "restrict to one study: memory|processor")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: paper's choice per experiment)")
+	workers := flag.Int("workers", 0, "goroutines for fold training and batched prediction (0 = all cores)")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	flag.Parse()
 
 	scale, err := experiments.ByName(*scaleName)
 	fatal(err)
 
-	r := &runner{scale: scale, seed: *seed}
+	r := &runner{scale: scale, seed: *seed, workers: *workers}
 	if *appsFlag != "" {
 		r.apps = strings.Split(*appsFlag, ",")
 	}
@@ -91,8 +92,17 @@ func main() {
 type runner struct {
 	scale   experiments.Scale
 	seed    uint64
+	workers int
 	studies []*studies.Study
 	apps    []string
+}
+
+// curveConfig materializes the scale preset with the runner's worker
+// bound threaded into the model.
+func (r *runner) curveConfig() experiments.CurveConfig {
+	cfg := r.scale.CurveConfig(r.seed)
+	cfg.Model.Workers = r.workers
+	return cfg
 }
 
 func (r *runner) appsFor(def []string) []string {
@@ -135,7 +145,7 @@ func (r *runner) spaces() {
 
 func (r *runner) table51() {
 	fmt.Println("== Table 5.1: accuracy summary ==")
-	cfg := r.scale.CurveConfig(r.seed)
+	cfg := r.curveConfig()
 	for _, st := range r.studies {
 		apps := r.appsFor(studies.PaperApps())
 		rows, err := experiments.Table51(st, apps, cfg)
@@ -175,7 +185,7 @@ func (r *runner) learningCurves(noisy bool) {
 		}
 	}
 	fmt.Printf("== %s ==\n", label)
-	cfg := r.scale.CurveConfig(r.seed)
+	cfg := r.curveConfig()
 	cfg.Noisy = noisy
 	for _, st := range studiesToRun {
 		for _, app := range r.appsFor(defApps) {
@@ -206,7 +216,7 @@ func (r *runner) learningCurves(noisy bool) {
 
 func (r *runner) reductions() {
 	fmt.Println("== Figs 5.6/5.7: reductions in simulated instructions ==")
-	cfg := r.scale.CurveConfig(r.seed)
+	cfg := r.curveConfig()
 	st := studies.Processor()
 	if len(r.studies) == 1 {
 		st = r.studies[0]
@@ -222,7 +232,7 @@ func (r *runner) reductions() {
 
 func (r *runner) trainingTimes() {
 	fmt.Println("== Fig 5.8: ensemble training times ==")
-	cfg := r.scale.CurveConfig(r.seed)
+	cfg := r.curveConfig()
 	var series []textplot.Series
 	markers := []byte{'P', 'M'}
 	for i, st := range r.studies {
@@ -265,7 +275,9 @@ func (r *runner) crossApp() {
 		st = r.studies[0]
 	}
 	perApp := r.scale.CurveEnd / 4
-	results, err := experiments.CrossApp(st, r.appsFor(studies.PaperApps()), perApp, r.scale.EvalPoints/2+100, r.scale.TraceLen, experiments.DefaultModel(), r.seed)
+	model := experiments.DefaultModel()
+	model.Workers = r.workers
+	results, err := experiments.CrossApp(st, r.appsFor(studies.PaperApps()), perApp, r.scale.EvalPoints/2+100, r.scale.TraceLen, model, r.seed)
 	fatal(err)
 	fmt.Printf("\n%s study, %d samples/app:\n", st.Name, perApp)
 	fmt.Printf("%-8s %12s %12s\n", "app", "solo err%", "pooled err%")
@@ -276,7 +288,7 @@ func (r *runner) crossApp() {
 
 func (r *runner) active() {
 	fmt.Println("== Chapter 7 extension: active learning vs random sampling ==")
-	cfg := r.scale.CurveConfig(r.seed)
+	cfg := r.curveConfig()
 	st := studies.Processor()
 	if len(r.studies) == 1 {
 		st = r.studies[0]

@@ -28,6 +28,7 @@ func main() {
 	studyName := flag.String("study", "memory", "")
 	axes := flag.Bool("axes", false, "scan per-axis IPC sensitivity instead of training")
 	sp := flag.Bool("simpoint", false, "scan SimPoint estimate error vs interval length")
+	workers := flag.Int("workers", 0, "goroutines for fold training and batched prediction (0 = all cores)")
 	flag.Parse()
 
 	study, err := studies.ByName(*studyName)
@@ -72,6 +73,7 @@ func main() {
 	}
 	mk := func(lr, decay float64, hidden []int, epochs, patience int, act ann.Activation) core.ModelConfig {
 		c := core.DefaultModelConfig()
+		c.Workers = *workers
 		c.LearningRate = lr
 		c.Hidden = hidden
 		c.HiddenAct = act
@@ -99,13 +101,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// One batched prediction over the whole evaluation set.
+		preds := ens.PredictIndices(enc, evalIdx)
 		var errs []float64
-		x := make([]float64, enc.Width())
-		for i, idx := range evalIdx {
-			enc.EncodeIndex(idx, x)
-			p := ens.Predict(x)
+		for i := range evalIdx {
 			if evalTruth[i] != 0 {
-				d := (p - evalTruth[i]) / evalTruth[i] * 100
+				d := (preds[i] - evalTruth[i]) / evalTruth[i] * 100
 				if d < 0 {
 					d = -d
 				}

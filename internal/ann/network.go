@@ -6,6 +6,14 @@
 // optimize percentage rather than absolute error, §3.3), and early
 // stopping on a held-aside set.
 //
+// All weights of a network live in one contiguous []float64 (layer
+// after layer, row-major within a layer), and the batched entry points
+// in batch.go — ForwardBatch, TrainBatch and the Scratch buffers they
+// reuse — run many examples through that flat layout at once. This is
+// the compute core the rest of the repository leans on: the ensemble's
+// candidate-pool scoring and full-space sweeps go through ForwardBatch
+// rather than per-point calls.
+//
 // The package is self-contained and generic over input/output
 // dimensions; the design-space-specific encoding and the
 // cross-validation ensembling live in internal/encoding and
@@ -61,6 +69,28 @@ func (a Activation) apply(x float64) float64 {
 		return x
 	default:
 		return x
+	}
+}
+
+// applyBatch applies the activation to ys in place. Hoisting the
+// activation switch out of the unit loop matters on the batched hot
+// path; the per-element work is otherwise identical to apply.
+func (a Activation) applyBatch(ys []float64) {
+	switch a {
+	case Sigmoid:
+		for i, y := range ys {
+			ys[i] = 1 / (1 + math.Exp(-y))
+		}
+	case Tanh:
+		for i, y := range ys {
+			ys[i] = math.Tanh(y)
+		}
+	case ReLU:
+		for i, y := range ys {
+			if y < 0 {
+				ys[i] = 0
+			}
+		}
 	}
 }
 
@@ -134,35 +164,91 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// layer holds the weights of one fully connected layer. Weights are
-// stored row-major: w[j*(in+1)+i] is the weight from input i to unit j,
-// with the bias at index in (a constant-1 input, as in Figure 3.2).
+// layer describes one fully connected layer. Its weight and momentum
+// slices are views into the network's single contiguous buffers, stored
+// row-major: w[j*(in+1)+i] is the weight from input i to unit j, with
+// the bias at index in (a constant-1 input, as in Figure 3.2).
 type layer struct {
 	in, out int
-	w       []float64
-	dwPrev  []float64 // previous update, for the momentum term
+	off     int       // offset of this layer's weights in the flat buffer
+	w       []float64 // view into Network.w
+	dwPrev  []float64 // view into Network.dwPrev (momentum term)
 	act     Activation
 
-	// Per-example forward/backward scratch.
+	// Per-example forward/backward scratch (the batched paths use a
+	// caller-provided Scratch instead, so they can run concurrently).
 	output []float64
 	delta  []float64
 }
 
-func newLayer(in, out int, act Activation, initRange float64, rng *stats.RNG) *layer {
-	l := &layer{
-		in:     in,
-		out:    out,
-		act:    act,
-		w:      make([]float64, out*(in+1)),
-		dwPrev: make([]float64, out*(in+1)),
-		output: make([]float64, out),
-		delta:  make([]float64, out),
-	}
-	for i := range l.w {
-		l.w[i] = rng.Range(-initRange, initRange)
-	}
-	return l
+// Network is a feed-forward fully connected neural network. All
+// trainable weights live in one flat buffer so snapshots, clones and
+// the batched kernels touch a single contiguous allocation.
+type Network struct {
+	cfg    Config
+	w      []float64 // every layer's weights, back to back
+	dwPrev []float64 // previous updates, aligned with w
+	layers []*layer
 }
+
+// New constructs a network with freshly initialized weights. It panics
+// on an invalid configuration (architectures are static study
+// descriptions; failing fast is the useful behaviour).
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0xA11CE5)
+	n := &Network{cfg: cfg}
+
+	dims := make([][2]int, 0, len(cfg.Hidden)+1)
+	prev := cfg.Inputs
+	for _, h := range cfg.Hidden {
+		dims = append(dims, [2]int{prev, h})
+		prev = h
+	}
+	dims = append(dims, [2]int{prev, cfg.Outputs})
+
+	total := 0
+	for _, d := range dims {
+		total += d[1] * (d[0] + 1)
+	}
+	n.w = make([]float64, total)
+	n.dwPrev = make([]float64, total)
+
+	off := 0
+	for i, d := range dims {
+		in, out := d[0], d[1]
+		size := out * (in + 1)
+		act := cfg.HiddenAct
+		if i == len(dims)-1 {
+			act = cfg.OutputAct
+		}
+		l := &layer{
+			in:     in,
+			out:    out,
+			off:    off,
+			w:      n.w[off : off+size : off+size],
+			dwPrev: n.dwPrev[off : off+size : off+size],
+			act:    act,
+			output: make([]float64, out),
+			delta:  make([]float64, out),
+		}
+		for j := range l.w {
+			l.w[j] = rng.Range(-cfg.InitRange, cfg.InitRange)
+		}
+		n.layers = append(n.layers, l)
+		off += size
+	}
+	return n
+}
+
+// Config returns the configuration the network was built from.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumWeights returns the total number of trainable weights (including
+// biases).
+func (n *Network) NumWeights() int { return len(n.w) }
 
 func (l *layer) forward(x []float64) []float64 {
 	stride := l.in + 1
@@ -177,46 +263,10 @@ func (l *layer) forward(x []float64) []float64 {
 	return l.output
 }
 
-// Network is a feed-forward fully connected neural network.
-type Network struct {
-	cfg    Config
-	layers []*layer
-}
-
-// New constructs a network with freshly initialized weights. It panics
-// on an invalid configuration (architectures are static study
-// descriptions; failing fast is the useful behaviour).
-func New(cfg Config) *Network {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	rng := stats.NewRNG(cfg.Seed ^ 0xA11CE5)
-	n := &Network{cfg: cfg}
-	prev := cfg.Inputs
-	for _, h := range cfg.Hidden {
-		n.layers = append(n.layers, newLayer(prev, h, cfg.HiddenAct, cfg.InitRange, rng))
-		prev = h
-	}
-	n.layers = append(n.layers, newLayer(prev, cfg.Outputs, cfg.OutputAct, cfg.InitRange, rng))
-	return n
-}
-
-// Config returns the configuration the network was built from.
-func (n *Network) Config() Config { return n.cfg }
-
-// NumWeights returns the total number of trainable weights (including
-// biases).
-func (n *Network) NumWeights() int {
-	total := 0
-	for _, l := range n.layers {
-		total += len(l.w)
-	}
-	return total
-}
-
 // Forward runs one example through the network and returns the output
 // activations. The returned slice is scratch owned by the network and
-// is overwritten by the next call; copy it if it must survive.
+// is overwritten by the next call; copy it if it must survive. For
+// scoring many points, ForwardBatch is substantially faster.
 func (n *Network) Forward(x []float64) []float64 {
 	if len(x) != n.cfg.Inputs {
 		panic(fmt.Sprintf("ann: got %d inputs, network has %d", len(x), n.cfg.Inputs))
@@ -312,9 +362,9 @@ func (n *Network) Restore(s [][]float64) {
 			panic("ann: snapshot size mismatch")
 		}
 		copy(l.w, s[i])
-		for j := range l.dwPrev {
-			l.dwPrev[j] = 0
-		}
+	}
+	for j := range n.dwPrev {
+		n.dwPrev[j] = 0
 	}
 }
 
@@ -322,8 +372,6 @@ func (n *Network) Restore(s [][]float64) {
 // configuration; scratch state is fresh).
 func (n *Network) Clone() *Network {
 	c := New(n.cfg)
-	for i, l := range n.layers {
-		copy(c.layers[i].w, l.w)
-	}
+	copy(c.w, n.w)
 	return c
 }

@@ -40,6 +40,46 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 	return s
 }
 
+// packed is a Dataset flattened into contiguous row-major matrices, the
+// layout the batched kernels and the training inner loop consume. The
+// per-example slice-of-slices form costs a pointer dereference per
+// access and scatters rows across the heap; packing once up front makes
+// every subsequent epoch walk flat memory.
+type packed struct {
+	x, y []float64 // rows × inW, rows × outW
+	raw  []float64
+	n    int
+	inW  int
+	outW int
+}
+
+func packDataset(d *Dataset, inW, outW int) *packed {
+	p := &packed{
+		x:    make([]float64, d.Len()*inW),
+		y:    make([]float64, d.Len()*outW),
+		raw:  d.Raw,
+		n:    d.Len(),
+		inW:  inW,
+		outW: outW,
+	}
+	for i, row := range d.X {
+		if len(row) != inW {
+			panic(fmt.Sprintf("ann: example %d has %d inputs, network has %d", i, len(row), inW))
+		}
+		copy(p.x[i*inW:(i+1)*inW], row)
+	}
+	for i, row := range d.Y {
+		if len(row) != outW {
+			panic(fmt.Sprintf("ann: example %d has %d targets, network has %d outputs", i, len(row), outW))
+		}
+		copy(p.y[i*outW:(i+1)*outW], row)
+	}
+	return p
+}
+
+func (p *packed) xRow(i int) []float64 { return p.x[i*p.inW : (i+1)*p.inW] }
+func (p *packed) yRow(i int) []float64 { return p.y[i*p.outW : (i+1)*p.outW] }
+
 // Unscaler converts a normalized primary-target prediction back to its
 // actual range (§3.3: predictions are scaled back before percentage
 // errors are computed).
@@ -66,6 +106,10 @@ type TrainOpts struct {
 	// MinImprove is the relative ES-error improvement that resets
 	// patience (guards against drifting forever on noise).
 	MinImprove float64
+	// BatchSize > 1 accumulates gradients over mini-batches through
+	// TrainBatch (one momentum step per batch) instead of the paper's
+	// per-example stochastic updates. 0 or 1 keeps per-example SGD.
+	BatchSize int
 	// Seed drives presentation order.
 	Seed uint64
 }
@@ -107,6 +151,10 @@ type TrainResult struct {
 // error on es after every epoch and restoring the best weights seen
 // when training stops (§3.2). The unscaler maps normalized predictions
 // of output 0 back to the actual target range.
+//
+// Both sets are packed into flat matrices once up front; the
+// early-stopping evaluation runs through ForwardBatch with a reused
+// scratch, so the per-epoch monitoring allocates nothing.
 func TrainEarlyStopping(n *Network, train, es *Dataset, un Unscaler, opts TrainOpts) (TrainResult, error) {
 	if train.Len() == 0 {
 		return TrainResult{}, fmt.Errorf("ann: empty training set")
@@ -134,23 +182,64 @@ func TrainEarlyStopping(n *Network, train, es *Dataset, un Unscaler, opts TrainO
 		alias = stats.NewAlias(w)
 	}
 
+	tr := packDataset(train, n.cfg.Inputs, n.cfg.Outputs)
+	esSet := packDataset(es, n.cfg.Inputs, n.cfg.Outputs)
+	scratch := NewScratch()
+
+	batch := opts.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	var batchX, batchY []float64
+	if batch > 1 {
+		batchX = make([]float64, batch*tr.inW)
+		batchY = make([]float64, batch*tr.outW)
+	}
+
+	var permBuf []int
+	if alias == nil {
+		permBuf = make([]int, tr.n)
+	}
+
+	// presentEpoch runs one epoch of gradient updates over the training
+	// set in the configured presentation order and batch size.
+	presentEpoch := func(lr float64) {
+		order := func(k int) int {
+			return alias.Draw(rng)
+		}
+		if alias == nil {
+			rng.PermInto(permBuf)
+			order = func(k int) int { return permBuf[k] }
+		}
+		if batch == 1 {
+			for k := 0; k < tr.n; k++ {
+				i := order(k)
+				n.Train(tr.xRow(i), tr.yRow(i), lr)
+			}
+			return
+		}
+		for k := 0; k < tr.n; k += batch {
+			rows := batch
+			if rem := tr.n - k; rows > rem {
+				rows = rem
+			}
+			for r := 0; r < rows; r++ {
+				i := order(k + r)
+				copy(batchX[r*tr.inW:(r+1)*tr.inW], tr.xRow(i))
+				copy(batchY[r*tr.outW:(r+1)*tr.outW], tr.yRow(i))
+			}
+			n.TrainBatch(batchX[:rows*tr.inW], batchY[:rows*tr.outW], rows, lr, scratch)
+		}
+	}
+
 	lr := n.cfg.LearningRate
 	best := TrainResult{BestESErr: math.Inf(1)}
 	var bestW [][]float64
 	sincebest := 0
 
 	for epoch := 1; epoch <= opts.MaxEpochs; epoch++ {
-		if alias != nil {
-			for k := 0; k < train.Len(); k++ {
-				i := alias.Draw(rng)
-				n.Train(train.X[i], train.Y[i], lr)
-			}
-		} else {
-			for _, i := range rng.Perm(train.Len()) {
-				n.Train(train.X[i], train.Y[i], lr)
-			}
-		}
-		esErr := MeanPercentError(n, es, un)
+		presentEpoch(lr)
+		esErr := meanPercentErrorPacked(n, esSet, un, scratch)
 		if esErr < best.BestESErr*(1-opts.MinImprove) || bestW == nil {
 			best.BestESErr = esErr
 			best.BestEpoch = epoch
@@ -173,20 +262,22 @@ func TrainEarlyStopping(n *Network, train, es *Dataset, un Unscaler, opts TrainO
 	return best, nil
 }
 
-// MeanPercentError evaluates the network's mean percentage error on the
-// primary target over ds, de-normalizing predictions through un.
-func MeanPercentError(n *Network, ds *Dataset, un Unscaler) float64 {
-	if ds.Len() == 0 {
+// meanPercentErrorPacked is the batched early-stopping evaluation: one
+// ForwardBatch over the whole set, then the same skip-zero percentage
+// accumulation as MeanPercentError, in row order.
+func meanPercentErrorPacked(n *Network, p *packed, un Unscaler, s *Scratch) float64 {
+	if p.n == 0 {
 		return 0
 	}
+	out := n.ForwardBatch(p.x, p.n, s)
 	var sum float64
 	count := 0
-	for i := range ds.X {
-		if ds.Raw[i] == 0 {
+	for i := 0; i < p.n; i++ {
+		if p.raw[i] == 0 {
 			continue
 		}
-		pred := un.Unscale(n.Forward(ds.X[i])[0])
-		sum += math.Abs(pred-ds.Raw[i]) / math.Abs(ds.Raw[i]) * 100
+		pred := un.Unscale(out[i*p.outW])
+		sum += math.Abs(pred-p.raw[i]) / math.Abs(p.raw[i]) * 100
 		count++
 	}
 	if count == 0 {
@@ -195,16 +286,27 @@ func MeanPercentError(n *Network, ds *Dataset, un Unscaler) float64 {
 	return sum / float64(count)
 }
 
+// MeanPercentError evaluates the network's mean percentage error on the
+// primary target over ds, de-normalizing predictions through un.
+func MeanPercentError(n *Network, ds *Dataset, un Unscaler) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	return meanPercentErrorPacked(n, packDataset(ds, n.cfg.Inputs, n.cfg.Outputs), un, nil)
+}
+
 // PercentErrors returns the per-example percentage errors of the
 // network on ds (primary target only).
 func PercentErrors(n *Network, ds *Dataset, un Unscaler) []float64 {
-	out := make([]float64, 0, ds.Len())
-	for i := range ds.X {
-		if ds.Raw[i] == 0 {
+	p := packDataset(ds, n.cfg.Inputs, n.cfg.Outputs)
+	preds := n.ForwardBatch(p.x, p.n, nil)
+	out := make([]float64, 0, p.n)
+	for i := 0; i < p.n; i++ {
+		if p.raw[i] == 0 {
 			continue
 		}
-		pred := un.Unscale(n.Forward(ds.X[i])[0])
-		out = append(out, math.Abs(pred-ds.Raw[i])/math.Abs(ds.Raw[i])*100)
+		pred := un.Unscale(preds[i*p.outW])
+		out = append(out, math.Abs(pred-p.raw[i])/math.Abs(p.raw[i])*100)
 	}
 	return out
 }

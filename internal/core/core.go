@@ -61,6 +61,12 @@ type ModelConfig struct {
 
 	Train     ann.TrainOpts
 	ScalerPad float64 // padding fraction for target minimax scaling
+	// Workers bounds the ensemble's concurrency: at most this many
+	// goroutines train cross-validation folds and shard batched
+	// predictions (0 = GOMAXPROCS; 1 or any negative value = fully
+	// sequential). Results are identical for any setting — fold seeds
+	// and batch outputs do not depend on scheduling.
+	Workers int
 	// LogTarget trains on log-transformed targets, making squared error
 	// in network space proportional to relative (percentage) error —
 	// this repository's default, which handles the simulator's wide IPC

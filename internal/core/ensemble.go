@@ -29,6 +29,7 @@ type Ensemble struct {
 	est     Estimate
 	outputs int
 	logT    bool // targets were log-transformed before scaling
+	workers int  // goroutine bound for batched prediction
 }
 
 // logMin floors target values before the log transform; metrics here
@@ -131,18 +132,21 @@ func TrainEnsemble(x [][]float64, raws [][]float64, cfg ModelConfig) (*Ensemble,
 		scalers: scalers,
 		outputs: outputs,
 		logT:    cfg.LogTarget,
+		workers: resolveWorkers(cfg.Workers),
 	}
 	primaryUn := unscaler{s: scalers[0], log: cfg.LogTarget}
 
-	// Train members concurrently; each member owns its network, so the
-	// only shared state is the read-only dataset.
+	// Train members concurrently on a worker pool bounded by
+	// cfg.Workers; each member owns its network and a deterministic
+	// per-fold seed, so the only shared state is the read-only dataset
+	// and results do not depend on scheduling.
 	type memberResult struct {
 		errs []float64 // per-point test-fold percentage errors
 		err  error
 	}
 	results := make([]memberResult, cfg.Folds)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
+	sem := make(chan struct{}, ens.workers)
 	for m := 0; m < cfg.Folds; m++ {
 		wg.Add(1)
 		go func(m int) {
@@ -208,13 +212,28 @@ func primaryColumn(raws [][]float64) []float64 {
 	return out
 }
 
-func maxParallel() int {
-	p := runtime.GOMAXPROCS(0)
-	if p < 1 {
-		p = 1
+// resolveWorkers maps a ModelConfig.Workers setting to a concrete
+// goroutine bound: positive values are taken as-is, 0 selects
+// GOMAXPROCS, and negative values fall back to fully sequential.
+func resolveWorkers(w int) int {
+	if w > 0 {
+		return w
 	}
-	return p
+	if w == 0 {
+		if p := runtime.GOMAXPROCS(0); p > 1 {
+			return p
+		}
+	}
+	return 1
 }
+
+// Workers returns the ensemble's goroutine bound for fold training and
+// batched prediction.
+func (e *Ensemble) Workers() int { return e.workers }
+
+// SetWorkers adjusts the goroutine bound used by batched prediction
+// (0 = GOMAXPROCS). Predictions are identical for any setting.
+func (e *Ensemble) SetWorkers(w int) { e.workers = resolveWorkers(w) }
 
 // Members returns the number of networks in the ensemble.
 func (e *Ensemble) Members() int { return len(e.nets) }

@@ -129,8 +129,12 @@ func (e *Explorer) Run() (*Ensemble, error) {
 		if rem := e.cfg.MaxSamples - len(e.indices); n > rem {
 			n = rem
 		}
+		before := len(e.indices)
 		if err := e.Grow(n); err != nil {
 			return nil, err
+		}
+		if len(e.indices) == before {
+			break // space (minus exclusions) exhausted; no progress possible
 		}
 		if err := e.TrainRound(); err != nil {
 			return nil, err
@@ -152,11 +156,13 @@ func (e *Explorer) Grow(n int) error {
 	if n <= 0 {
 		return nil
 	}
-	remaining := e.sp.Size() - len(e.indices)
+	// sampled holds simulated points plus Exclude-reserved ones; only
+	// the complement is drawable by either strategy.
+	remaining := e.sp.Size() - len(e.sampled)
 	if n > remaining {
 		n = remaining
 	}
-	if n == 0 {
+	if n <= 0 {
 		return nil
 	}
 	var batch []int
@@ -226,31 +232,46 @@ func (e *Explorer) selectRandom(n int) []int {
 
 // selectByVariance scores a random candidate pool with the current
 // ensemble and returns the n candidates with the highest member
-// disagreement.
+// disagreement. The whole pool is encoded into one flat matrix and
+// scored by a single batched prediction call, so a round costs one
+// ensemble sweep instead of thousands of per-point ones.
 func (e *Explorer) selectByVariance(n int) []int {
 	pool := e.cfg.CandidatePool
 	if pool <= 0 {
 		pool = 20 * n
 	}
-	if pool > e.sp.Size()-len(e.indices) {
-		pool = e.sp.Size() - len(e.indices)
+	// Clamp to the points actually drawable: sampled includes both
+	// simulated indices and Exclude-reserved ones, either of which the
+	// draw loop below rejects.
+	if avail := e.sp.Size() - len(e.sampled); pool > avail {
+		pool = avail
 	}
-	type scored struct {
-		idx int
-		v   float64
-	}
-	cands := make([]scored, 0, pool)
+	idxs := make([]int, 0, pool)
 	seen := make(map[int]bool, pool)
-	x := make([]float64, e.enc.Width())
-	for len(cands) < pool {
+	width := e.enc.Width()
+	xs := make([]float64, pool*width)
+	for len(idxs) < pool {
 		idx := e.rng.Intn(e.sp.Size())
 		if e.sampled[idx] || seen[idx] {
 			continue
 		}
 		seen[idx] = true
-		e.enc.EncodeIndex(idx, x)
-		_, v := e.ens.PredictVariance(x)
-		cands = append(cands, scored{idx, v})
+		e.enc.EncodeIndex(idx, xs[len(idxs)*width:(len(idxs)+1)*width])
+		idxs = append(idxs, idx)
+	}
+	_, vs := e.ens.PredictVarianceBatch(xs, pool, nil, nil)
+	type scored struct {
+		idx int
+		v   float64
+	}
+	cands := make([]scored, pool)
+	for i, idx := range idxs {
+		cands[i] = scored{idx, vs[i]}
+	}
+	// Grow bounds n by the drawable complement, so pool >= n holds;
+	// keep the selection safe regardless.
+	if n > len(cands) {
+		n = len(cands)
 	}
 	// Partial selection of the top n by variance.
 	for i := 0; i < n; i++ {

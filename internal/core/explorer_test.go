@@ -158,6 +158,49 @@ func TestVarianceSelectionPrefersUncertainPoints(t *testing.T) {
 	}
 }
 
+// TestExplorerVarianceSelectionNearExhaustion drives SelectVariance
+// into the regime where the drawable complement (space minus simulated
+// minus Exclude-reserved points) is smaller than a batch: the explorer
+// must neither hang in the candidate draw loop nor panic in the top-n
+// selection, and must never sample an excluded point.
+func TestExplorerVarianceSelectionNearExhaustion(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	// Exclude a third of the space; budget the rest plus slack.
+	var exclude []int
+	for i := 0; i < sp.Size(); i += 3 {
+		exclude = append(exclude, i)
+	}
+	cfg := ExploreConfig{
+		Model:      fastModel(),
+		BatchSize:  25,
+		MaxSamples: sp.Size(), // more than is drawable
+		Strategy:   SelectVariance,
+		Exclude:    exclude,
+		Seed:       8,
+	}
+	ex, err := NewExplorer(sp, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	drawable := sp.Size() - len(exclude)
+	if got := len(ex.Samples()); got != drawable {
+		t.Fatalf("sampled %d points, want the full drawable complement %d", got, drawable)
+	}
+	excluded := map[int]bool{}
+	for _, idx := range exclude {
+		excluded[idx] = true
+	}
+	for _, idx := range ex.Samples() {
+		if excluded[idx] {
+			t.Fatalf("excluded point %d was sampled", idx)
+		}
+	}
+}
+
 func TestExplorerGrowBeyondSpaceIsBounded(t *testing.T) {
 	sp := synthSpace()
 	oracle := &synthOracle{sp: sp}

@@ -69,6 +69,7 @@ func LoadEnsemble(r io.Reader) (*Ensemble, error) {
 		logT:    s.LogTarget,
 		scalers: s.Scalers,
 		est:     s.Estimate,
+		workers: resolveWorkers(0),
 	}
 	for i, raw := range s.Nets {
 		n, err := ann.Load(bytes.NewReader(raw))

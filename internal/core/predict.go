@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ann"
+	"repro/internal/encoding"
+)
+
+// predictChunk is the number of design points one worker scores per
+// claim. Large enough to amortize scratch setup and keep the batched
+// kernels in their blocked regime, small enough to balance load across
+// workers on mid-sized pools.
+const predictChunk = 512
+
+// predictScratch is one worker's reusable buffers: the ANN scratch and
+// the members×chunk member-prediction matrix. Pooled so steady-state
+// batched prediction allocates nothing.
+type predictScratch struct {
+	s     *ann.Scratch
+	preds []float64
+}
+
+var predictPool = sync.Pool{New: func() any { return &predictScratch{s: ann.NewScratch()} }}
+
+func getPredictScratch(members int) *predictScratch {
+	ps := predictPool.Get().(*predictScratch)
+	if need := members * predictChunk; cap(ps.preds) < need {
+		ps.preds = make([]float64, need)
+	}
+	ps.preds = ps.preds[:members*predictChunk]
+	return ps
+}
+
+// Inputs returns the encoded input width the ensemble's members expect.
+func (e *Ensemble) Inputs() int { return e.nets[0].Config().Inputs }
+
+// PredictBatch scores many encoded design points in one call: xs is a
+// flat row-major matrix of rows points (each Inputs() wide) and the
+// primary-target predictions land in out (allocated when nil), which is
+// also returned. This is the hot path for candidate-pool scoring and
+// full-space sweeps — it runs each member's batched forward kernel over
+// the whole chunk and shards chunks across the ensemble's worker bound.
+//
+// Each output is bit-identical to Predict on the same point: rows are
+// independent, and the per-row member accumulation order is unchanged.
+func (e *Ensemble) PredictBatch(xs []float64, rows int, out []float64) []float64 {
+	if rows < 0 || len(xs) != rows*e.Inputs() {
+		panic(fmt.Sprintf("core: batch of %d values is not %d rows × %d inputs", len(xs), rows, e.Inputs()))
+	}
+	if out == nil {
+		out = make([]float64, rows)
+	}
+	if len(out) != rows {
+		panic(fmt.Sprintf("core: output buffer has %d slots for %d rows", len(out), rows))
+	}
+	e.forEachChunk(rows, func(start, end int, s *ann.Scratch, _ []float64) {
+		e.predictRange(xs, start, end, out[start:end], s)
+	})
+	return out
+}
+
+// PredictVarianceBatch is the batched PredictVariance: for each of rows
+// encoded points it computes the ensemble mean and the variance of the
+// member predictions (the active-learning disagreement signal of
+// Chapter 7). mean and variance are filled when non-nil and allocated
+// otherwise; both are returned.
+func (e *Ensemble) PredictVarianceBatch(xs []float64, rows int, mean, variance []float64) ([]float64, []float64) {
+	if rows < 0 || len(xs) != rows*e.Inputs() {
+		panic(fmt.Sprintf("core: batch of %d values is not %d rows × %d inputs", len(xs), rows, e.Inputs()))
+	}
+	if mean == nil {
+		mean = make([]float64, rows)
+	}
+	if variance == nil {
+		variance = make([]float64, rows)
+	}
+	if len(mean) != rows || len(variance) != rows {
+		panic(fmt.Sprintf("core: mean/variance buffers have %d/%d slots for %d rows", len(mean), len(variance), rows))
+	}
+	members := len(e.nets)
+	e.forEachChunk(rows, func(start, end int, s *ann.Scratch, preds []float64) {
+		cnt := end - start
+		// preds[m*cnt+r] is member m's prediction for row start+r.
+		for m, n := range e.nets {
+			outM := n.ForwardBatch(xs[start*e.Inputs():end*e.Inputs()], cnt, s)
+			for r := 0; r < cnt; r++ {
+				preds[m*cnt+r] = e.untransform(e.scalers[0].Unscale(outM[r*e.outputs]))
+			}
+		}
+		// Same accumulation order as the per-point PredictVariance:
+		// member-order sum for the mean, then member-order squared
+		// deviations.
+		for r := 0; r < cnt; r++ {
+			var sum float64
+			for m := 0; m < members; m++ {
+				sum += preds[m*cnt+r]
+			}
+			mu := sum / float64(members)
+			var ss float64
+			for m := 0; m < members; m++ {
+				d := preds[m*cnt+r] - mu
+				ss += d * d
+			}
+			mean[start+r] = mu
+			variance[start+r] = ss / float64(members)
+		}
+	})
+	return mean, variance
+}
+
+// PredictIndices encodes the design-point indices through enc and
+// scores them all in one batched prediction — the common "evaluate the
+// model on this list of points" idiom.
+func (e *Ensemble) PredictIndices(enc *encoding.Encoder, idxs []int) []float64 {
+	width := enc.Width()
+	xs := make([]float64, len(idxs)*width)
+	for i, idx := range idxs {
+		enc.EncodeIndex(idx, xs[i*width:(i+1)*width])
+	}
+	return e.PredictBatch(xs, len(idxs), nil)
+}
+
+// predictRange scores rows [start, end) into out, reusing s.
+func (e *Ensemble) predictRange(xs []float64, start, end int, out []float64, s *ann.Scratch) {
+	cnt := end - start
+	for i := range out {
+		out[i] = 0
+	}
+	for _, n := range e.nets {
+		outM := n.ForwardBatch(xs[start*e.Inputs():end*e.Inputs()], cnt, s)
+		for r := 0; r < cnt; r++ {
+			out[r] += e.untransform(e.scalers[0].Unscale(outM[r*e.outputs]))
+		}
+	}
+	members := float64(len(e.nets))
+	for r := range out {
+		out[r] /= members
+	}
+}
+
+// forEachChunk splits [0, rows) into predictChunk-sized ranges and runs
+// fn over them, fanning out across the ensemble's worker bound when the
+// batch is large enough to pay for the goroutines. Each invocation gets
+// a private scratch and a members×chunk scratch buffer, so fn may use
+// them freely without locking.
+func (e *Ensemble) forEachChunk(rows int, fn func(start, end int, s *ann.Scratch, preds []float64)) {
+	if rows == 0 {
+		return
+	}
+	nchunks := (rows + predictChunk - 1) / predictChunk
+	workers := e.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+	run := func(s *ann.Scratch, preds []float64, c int) {
+		start := c * predictChunk
+		end := start + predictChunk
+		if end > rows {
+			end = rows
+		}
+		fn(start, end, s, preds)
+	}
+	if workers == 1 {
+		ps := getPredictScratch(len(e.nets))
+		for c := 0; c < nchunks; c++ {
+			run(ps.s, ps.preds, c)
+		}
+		predictPool.Put(ps)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps := getPredictScratch(len(e.nets))
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					predictPool.Put(ps)
+					return
+				}
+				run(ps.s, ps.preds, c)
+			}
+		}()
+	}
+	wg.Wait()
+}

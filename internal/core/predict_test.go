@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// trainSynthEnsemble builds a small trained ensemble over the synthetic
+// space for prediction tests, plus a sample of encoded points.
+func trainSynthEnsemble(t *testing.T, cfg ModelConfig, seed uint64) (*Ensemble, [][]float64) {
+	t.Helper()
+	sp := synthSpace()
+	rng := stats.NewRNG(seed)
+	train := sp.Sample(rng, 60)
+	enc := newTestEncoder(sp)
+	x := make([][]float64, len(train))
+	y := make([][]float64, len(train))
+	for i, idx := range train {
+		x[i] = enc.EncodeIndex(idx, nil)
+		y[i] = []float64{synthTarget(sp, idx)}
+	}
+	ens, err := TrainEnsemble(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encoded probes over the rest of the space.
+	probes := make([][]float64, 0, 300)
+	for idx := 0; idx < sp.Size() && len(probes) < 300; idx += 2 {
+		probes = append(probes, enc.EncodeIndex(idx, nil))
+	}
+	return ens, probes
+}
+
+func flatten(points [][]float64) ([]float64, int) {
+	if len(points) == 0 {
+		return nil, 0
+	}
+	w := len(points[0])
+	out := make([]float64, len(points)*w)
+	for i, p := range points {
+		copy(out[i*w:(i+1)*w], p)
+	}
+	return out, len(points)
+}
+
+// TestPredictBatchMatchesPredict is the ensemble-level parity property
+// from the paper's perspective: scoring a batch must be a pure
+// performance change, with every prediction within 1e-12 of the
+// per-point path (the implementation is in fact bit-identical).
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	cfg := fastModel()
+	cfg.Seed = 31
+	ens, probes := trainSynthEnsemble(t, cfg, 7)
+	xs, rows := flatten(probes)
+	got := ens.PredictBatch(xs, rows, nil)
+	for i, p := range probes {
+		want := ens.Predict(p)
+		if math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("point %d: batch %v vs per-point %v", i, got[i], want)
+		}
+	}
+}
+
+// TestPredictVarianceBatchMatchesPerPoint checks the active-learning
+// disagreement signal survives batching unchanged.
+func TestPredictVarianceBatchMatchesPerPoint(t *testing.T) {
+	cfg := fastModel()
+	cfg.Seed = 32
+	ens, probes := trainSynthEnsemble(t, cfg, 8)
+	xs, rows := flatten(probes)
+	mean, variance := ens.PredictVarianceBatch(xs, rows, nil, nil)
+	for i, p := range probes {
+		m, v := ens.PredictVariance(p)
+		if math.Abs(mean[i]-m) > 1e-12*(1+math.Abs(m)) {
+			t.Fatalf("point %d: batch mean %v vs per-point %v", i, mean[i], m)
+		}
+		if math.Abs(variance[i]-v) > 1e-12*(1+math.Abs(v)) {
+			t.Fatalf("point %d: batch variance %v vs per-point %v", i, variance[i], v)
+		}
+	}
+}
+
+// TestPredictBatchWorkersInvariant: sharding a batch across goroutines
+// must not change a single bit of the output (rows are independent).
+func TestPredictBatchWorkersInvariant(t *testing.T) {
+	cfg := fastModel()
+	cfg.Seed = 33
+	ens, probes := trainSynthEnsemble(t, cfg, 9)
+	xs, rows := flatten(probes)
+
+	ens.SetWorkers(1)
+	serial := append([]float64(nil), ens.PredictBatch(xs, rows, nil)...)
+	for _, w := range []int{2, 4, 8} {
+		ens.SetWorkers(w)
+		got := ens.PredictBatch(xs, rows, nil)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: point %d differs: %v vs %v", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestParallelFoldTrainingMatchesSequential is the reproducibility half
+// of the parallel-training contract: per-fold RNG seeds are derived
+// from the configuration alone, so a fully sequential run (Workers=1)
+// and a maximally parallel run must produce identical ensembles —
+// identical predictions and identical cross-validation estimates.
+func TestParallelFoldTrainingMatchesSequential(t *testing.T) {
+	sp := synthSpace()
+	rng := stats.NewRNG(12)
+	train := sp.Sample(rng, 50)
+	enc := newTestEncoder(sp)
+	x := make([][]float64, len(train))
+	y := make([][]float64, len(train))
+	for i, idx := range train {
+		x[i] = enc.EncodeIndex(idx, nil)
+		y[i] = []float64{synthTarget(sp, idx)}
+	}
+	cfg := fastModel()
+	cfg.Seed = 1234
+
+	cfg.Workers = 1
+	seq, err := TrainEnsemble(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := TrainEnsemble(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Estimate() != par.Estimate() {
+		t.Fatalf("estimates differ: sequential %+v vs parallel %+v", seq.Estimate(), par.Estimate())
+	}
+	for idx := 0; idx < sp.Size(); idx += 7 {
+		p := enc.EncodeIndex(idx, nil)
+		if seq.Predict(p) != par.Predict(p) {
+			t.Fatalf("point %d: sequential %v vs parallel %v", idx, seq.Predict(p), par.Predict(p))
+		}
+	}
+	if seq.Workers() != 1 || par.Workers() != 8 {
+		t.Fatalf("worker bounds not recorded: %d/%d", seq.Workers(), par.Workers())
+	}
+}
+
+// TestPredictBatchEmptyAndValidation covers the degenerate and error
+// paths of the batched API.
+func TestPredictBatchEmptyAndValidation(t *testing.T) {
+	cfg := fastModel()
+	cfg.Seed = 35
+	ens, _ := trainSynthEnsemble(t, cfg, 11)
+	if out := ens.PredictBatch(nil, 0, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d predictions", len(out))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mis-sized batch did not panic")
+		}
+	}()
+	ens.PredictBatch(make([]float64, 3), 2, nil)
+}

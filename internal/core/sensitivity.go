@@ -26,7 +26,8 @@ type AxisSensitivity struct {
 // Sensitivity sweeps every axis of the space through the trained
 // ensemble at `bases` random base points and ranks the axes by mean
 // predicted swing. It performs Σ cardinalities × bases predictions and
-// zero simulations.
+// zero simulations; each axis's full sweep (bases × settings points) is
+// scored by one batched prediction call.
 func Sensitivity(ens *Ensemble, sp *space.Space, bases int, seed uint64) []AxisSensitivity {
 	enc := encoding.NewEncoder(sp)
 	rng := stats.NewRNG(seed ^ 0x5E45)
@@ -34,18 +35,33 @@ func Sensitivity(ens *Ensemble, sp *space.Space, bases int, seed uint64) []AxisS
 		bases = 20
 	}
 	out := make([]AxisSensitivity, sp.NumParams())
-	x := make([]float64, enc.Width())
+	width := enc.Width()
+	var xs, preds []float64
 	for p := 0; p < sp.NumParams(); p++ {
 		card := sp.Params[p].Card()
+		rows := bases * card
+		if need := rows * width; cap(xs) < need {
+			xs = make([]float64, need)
+		}
+		xs = xs[:rows*width]
+		for b := 0; b < bases; b++ {
+			choices := sp.Choices(rng.Intn(sp.Size()))
+			for c := 0; c < card; c++ {
+				choices[p] = c
+				enc.Encode(choices, xs[(b*card+c)*width:(b*card+c+1)*width])
+			}
+		}
+		if cap(preds) < rows {
+			preds = make([]float64, rows)
+		}
+		preds = ens.PredictBatch(xs, rows, preds[:rows])
+
 		var swings []float64
 		var worst float64
 		for b := 0; b < bases; b++ {
-			choices := sp.Choices(rng.Intn(sp.Size()))
 			lo, hi := 0.0, 0.0
 			for c := 0; c < card; c++ {
-				choices[p] = c
-				enc.Encode(choices, x)
-				v := ens.Predict(x)
+				v := preds[b*card+c]
 				if c == 0 || v < lo {
 					lo = v
 				}

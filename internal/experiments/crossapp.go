@@ -87,16 +87,26 @@ func CrossApp(study *studies.Study, apps []string, perApp, evalN, traceLen int, 
 			return nil, fmt.Errorf("experiments: cross-app solo model (%s): %w", app, err)
 		}
 
-		var soloErrs, crossErrs []float64
+		// Score the whole evaluation set through both models with one
+		// batched prediction each (the pooled model's inputs carry the
+		// app one-hot, so its matrix is built by hand).
+		nEval := len(data[a].evalIdx)
+		crossX := make([]float64, nEval*width)
 		for i, idx := range data[a].evalIdx {
+			row := crossX[i*width : (i+1)*width]
+			enc.EncodeIndex(idx, row[:enc.Width()])
+			row[enc.Width()+a] = 1
+		}
+		soloPred := solo.PredictIndices(enc, data[a].evalIdx)
+		crossPred := pooled.PredictBatch(crossX, nEval, nil)
+		var soloErrs, crossErrs []float64
+		for i := range data[a].evalIdx {
 			truth := data[a].evalIPC[i]
 			if truth == 0 {
 				continue
 			}
-			sp := solo.Predict(enc.EncodeIndex(idx, nil))
-			cp := pooled.Predict(encode(a, idx))
-			soloErrs = append(soloErrs, abs(sp-truth)/truth*100)
-			crossErrs = append(crossErrs, abs(cp-truth)/truth*100)
+			soloErrs = append(soloErrs, abs(soloPred[i]-truth)/truth*100)
+			crossErrs = append(crossErrs, abs(crossPred[i]-truth)/truth*100)
 		}
 		results[a] = CrossAppResult{
 			App:      app,

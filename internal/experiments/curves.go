@@ -161,17 +161,16 @@ func CurveAtSizes(study *studies.Study, app string, cfg CurveConfig, sizes []int
 }
 
 // evaluateEnsemble measures the explorer's current ensemble against a
-// held-out truth set, returning mean and SD of percentage error.
+// held-out truth set, returning mean and SD of percentage error. The
+// whole evaluation set is scored in one batched prediction — under the
+// full-space scale preset this is tens of thousands of points per
+// round, the sweep the batched path exists for.
 func evaluateEnsemble(ex *core.Explorer, evalIdx []int, evalTruth []float64) (mean, sd float64) {
-	ens := ex.Ensemble()
-	enc := ex.Encoder()
+	preds := ex.Ensemble().PredictIndices(ex.Encoder(), evalIdx)
 	errs := make([]float64, 0, len(evalIdx))
-	x := make([]float64, enc.Width())
-	for i, idx := range evalIdx {
-		enc.EncodeIndex(idx, x)
-		pred := ens.Predict(x)
-		if evalTruth[i] != 0 {
-			errs = append(errs, abs(pred-evalTruth[i])/abs(evalTruth[i])*100)
+	for i, truth := range evalTruth {
+		if truth != 0 {
+			errs = append(errs, abs(preds[i]-truth)/abs(truth)*100)
 		}
 	}
 	return stats.MeanStd(errs)

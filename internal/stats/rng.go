@@ -101,14 +101,22 @@ func (r *RNG) NormFloat64() float64 {
 // Perm returns a random permutation of [0, n), Fisher–Yates shuffled.
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)), reusing
+// the caller's buffer — the allocation-free Perm for per-epoch training
+// shuffles. It draws exactly the same sequence as Perm for the same
+// length.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Shuffle permutes xs in place.

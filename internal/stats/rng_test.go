@@ -141,6 +141,24 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
+func TestPermIntoMatchesPerm(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n%50) + 1
+		want := NewRNG(seed).Perm(size)
+		got := make([]int, size)
+		NewRNG(seed).PermInto(got)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestShufflePreservesMultiset(t *testing.T) {
 	r := NewRNG(17)
 	xs := []int{1, 2, 3, 4, 5, 6, 7}
