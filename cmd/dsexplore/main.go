@@ -7,6 +7,10 @@
 //
 // After exploration it reports the model's predicted optimum and checks
 // it against one confirming simulation.
+//
+// -save writes the trained model as a bundle (space + encoding +
+// ensemble + provenance) for cmd/serve; -load skips exploration and
+// answers the sweep and sensitivity from a previously saved bundle.
 package main
 
 import (
@@ -15,7 +19,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/bundle"
+	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/encoding"
 	"repro/internal/experiments"
 	"repro/internal/studies"
 )
@@ -30,45 +37,89 @@ func main() {
 	paperCfg := flag.Bool("paper", false, "use the paper's exact ANN hyperparameters (slower training)")
 	active := flag.Bool("active", false, "use variance-driven (active) sampling instead of random")
 	workers := flag.Int("workers", 0, "goroutines for fold training and batched prediction (0 = all cores)")
+	savePath := flag.String("save", "", "write the trained model bundle to this path (for cmd/serve)")
+	loadPath := flag.String("load", "", "load a model bundle instead of exploring (no training simulations)")
 	seed := flag.Uint64("seed", 1, "")
 	flag.Parse()
 
 	study, err := studies.ByName(*studyName)
 	fatal(err)
-	oracle := experiments.NewSimOracle(study, *app, *traceLen, experiments.IPCOnly)
-
-	cfg := core.ExploreConfig{
-		Model:         core.DefaultModelConfig(),
-		BatchSize:     *batch,
-		MaxSamples:    *budget,
-		TargetMeanErr: *target,
-		Seed:          *seed,
-	}
-	if *paperCfg {
-		cfg.Model = core.PaperConfig()
-	}
-	cfg.Model.Workers = *workers
-	if *active {
-		cfg.Strategy = core.SelectVariance
+	if *savePath != "" && *loadPath != "" {
+		fatal(fmt.Errorf("-save and -load are mutually exclusive (a loaded bundle is already saved)"))
 	}
 
-	ex, err := core.NewExplorer(study.Space, oracle, cfg)
-	fatal(err)
-
-	fmt.Printf("%s study / %s: %d-point space, batches of %d, target %.1f%%\n\n",
-		study.Name, *app, study.Space.Size(), *batch, *target)
-	start := time.Now()
-	ens, err := ex.Run()
-	fatal(err)
-	for _, s := range ex.Steps() {
-		fmt.Printf("  %4d sims (%5.2f%%): estimated %5.2f%% ± %5.2f%%  (train %v)\n",
-			s.Samples, 100*s.Fraction, s.Est.MeanErr, s.Est.SDErr, s.TrainTime.Round(time.Millisecond))
+	var (
+		ens *core.Ensemble
+		enc *encoding.Encoder
+	)
+	appName := *app
+	if *loadPath != "" {
+		// A loaded bundle answers everything without exploring; refuse
+		// exploration flags instead of silently ignoring them.
+		for _, f := range []string{"active", "paper", "budget", "batch", "target"} {
+			if cliutil.FlagWasSet(f) {
+				fatal(fmt.Errorf("-%s controls exploration and has no effect with -load", f))
+			}
+		}
+		// The confirming simulation must run the application the model
+		// was trained on; ResolveBundle adopts the bundle's app unless
+		// -app was passed explicitly (cross-app evaluation, warned).
+		b, resolvedApp, err := cliutil.ResolveBundle("dsexplore", *loadPath, study.Space, "app", appName, *workers)
+		fatal(err)
+		appName = resolvedApp
+		ens, enc = b.Ensemble, b.Encoder
+		est := ens.Estimate()
+		fmt.Printf("%s study / %s: loaded %s (%d-sim model, estimated %.2f%% ± %.2f%%)\n",
+			study.Name, appName, *loadPath, b.Meta.Samples, est.MeanErr, est.SDErr)
 	}
-	fmt.Printf("\n%d simulations, %v wall clock\n", oracle.SimulationsRun(), time.Since(start).Round(time.Millisecond))
+	oracle := experiments.NewSimOracle(study, appName, *traceLen, experiments.IPCOnly)
+	if *loadPath == "" {
+		cfg := core.ExploreConfig{
+			Model:         core.DefaultModelConfig(),
+			BatchSize:     *batch,
+			MaxSamples:    *budget,
+			TargetMeanErr: *target,
+			Seed:          *seed,
+		}
+		if *paperCfg {
+			cfg.Model = core.PaperConfig()
+		}
+		cfg.Model.Workers = *workers
+		if *active {
+			cfg.Strategy = core.SelectVariance
+		}
+
+		ex, err := core.NewExplorer(study.Space, oracle, cfg)
+		fatal(err)
+
+		fmt.Printf("%s study / %s: %d-point space, batches of %d, target %.1f%%\n\n",
+			study.Name, appName, study.Space.Size(), *batch, *target)
+		start := time.Now()
+		ens, err = ex.Run()
+		fatal(err)
+		for _, s := range ex.Steps() {
+			fmt.Printf("  %4d sims (%5.2f%%): estimated %5.2f%% ± %5.2f%%  (train %v)\n",
+				s.Samples, 100*s.Fraction, s.Est.MeanErr, s.Est.SDErr, s.TrainTime.Round(time.Millisecond))
+		}
+		fmt.Printf("\n%d simulations, %v wall clock\n", oracle.SimulationsRun(), time.Since(start).Round(time.Millisecond))
+		enc = ex.Encoder()
+
+		if *savePath != "" {
+			b, err := bundle.New(study.Space, ens, bundle.Meta{
+				Study:   study.Name,
+				App:     appName,
+				Metric:  "IPC",
+				Samples: len(ex.Samples()),
+				Model:   cfg.Model,
+			})
+			fatal(err)
+			fatal(b.WriteFile(*savePath))
+			fmt.Printf("saved model bundle to %s (serve it: go run ./cmd/serve %s)\n", *savePath, *savePath)
+		}
+	}
 
 	// Predicted optimum over the whole space, verified once. The sweep
 	// scores the full design space in batched chunks.
-	enc := ex.Encoder()
 	width := enc.Width()
 	const sweepChunk = 4096
 	xs := make([]float64, sweepChunk*width)
@@ -96,7 +147,12 @@ func main() {
 	// instead of simulations.
 	fmt.Println("\nmodel-based parameter sensitivity (predicted IPC swing per axis):")
 	for _, s := range core.RankedSensitivities(core.Sensitivity(ens, study.Space, 24, *seed)) {
-		fmt.Printf("  %2d. %-22s mean %6.1f%%  max %6.1f%%\n", s.Rank, s.Name, s.MeanSwing, s.MaxSwing)
+		if s.Degenerate {
+			fmt.Printf("  %2d. %-22s swing undefined (0/%d valid base points)\n", s.Rank, s.Name, s.Bases)
+			continue
+		}
+		fmt.Printf("  %2d. %-22s mean %6.1f%%  max %6.1f%%  (%d/%d bases)\n",
+			s.Rank, s.Name, s.MeanSwing, s.MaxSwing, s.ValidBases, s.Bases)
 	}
 }
 

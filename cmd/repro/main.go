@@ -21,18 +21,24 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bundle"
+	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/pb"
+	"repro/internal/stats"
 	"repro/internal/studies"
 	"repro/internal/textplot"
 )
 
 func main() {
-	exp := flag.String("exp", "list", "experiment: list|all|spaces|table5.1|fig5.1|fig5.2|fig5.4|fig5.5|fig5.6|fig5.7|fig5.8|pb|crossapp|active")
+	exp := flag.String("exp", "list", "experiment: list|all|spaces|table5.1|fig5.1|fig5.2|fig5.4|fig5.5|fig5.6|fig5.7|fig5.8|pb|crossapp|active|model")
 	scaleName := flag.String("scale", "quick", "budget preset: quick|standard|full")
 	studyName := flag.String("study", "", "restrict to one study: memory|processor")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: paper's choice per experiment)")
 	workers := flag.Int("workers", 0, "goroutines for fold training and batched prediction (0 = all cores)")
+	savePath := flag.String("save", "", "with -exp model: write the trained model bundle to this path (for cmd/serve)")
+	loadPath := flag.String("load", "", "with -exp model: evaluate a saved bundle against fresh simulations")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	flag.Parse()
 
@@ -73,6 +79,8 @@ func main() {
 		r.crossApp()
 	case "active":
 		r.active()
+	case "model":
+		r.model(*savePath, *loadPath)
 	case "all":
 		r.spaces()
 		r.table51()
@@ -126,7 +134,8 @@ func (r *runner) list() {
   pb         §4 methodology — Plackett-Burman parameter ranking
   crossapp   Ch. 7 ext.     — cross-application model vs per-app models
   active     Ch. 7 ext.     — active learning vs random sampling
-  all        everything above
+  model      train once (-save bundle) / verify a saved bundle (-load)
+  all        everything above (except model, which needs -save or -load)
 `)
 }
 
@@ -284,6 +293,64 @@ func (r *runner) crossApp() {
 	for _, res := range results {
 		fmt.Printf("%-8s %11.2f%% %11.2f%%\n", res.App, res.SoloErr, res.CrossErr)
 	}
+}
+
+// model is the "train once, query forever" entry point: -save trains
+// one ensemble on the first configured (study, app) pair at the scale's
+// budget and writes it as a serveable bundle; -load reads a bundle back
+// and measures its true error against fresh held-out simulations.
+func (r *runner) model(save, load string) {
+	if (save == "") == (load == "") {
+		fatal(fmt.Errorf("-exp model needs exactly one of -save <path> or -load <path>"))
+	}
+	st := r.studies[0]
+	app := r.appsFor([]string{"mcf"})[0]
+	cfg := r.curveConfig()
+
+	if load != "" {
+		b, resolvedApp, err := cliutil.ResolveBundle("repro", load, st.Space, "apps", app, r.workers)
+		fatal(err)
+		app = resolvedApp
+		est := b.Ensemble.Estimate()
+		fmt.Printf("== bundle %s ==\n", load)
+		fmt.Printf("%s study / %s: %d members, %d sims behind it, estimated %.2f%% ± %.2f%%\n",
+			st.Name, app, b.Ensemble.Members(), b.Meta.Samples, est.MeanErr, est.SDErr)
+
+		oracle := experiments.NewSimOracle(st, app, cfg.TraceLen, experiments.IPCOnly)
+		rng := stats.NewRNG(r.seed ^ 0xB0D1E)
+		evalIdx := st.Space.Sample(rng, cfg.EvalPoints)
+		truth, err := oracle.IPCs(evalIdx)
+		fatal(err)
+		m, sd, used := b.Ensemble.TrueError(b.Encoder, evalIdx, truth)
+		fmt.Printf("measured against %d fresh simulations: true %.2f%% ± %.2f%%\n", used, m, sd)
+		return
+	}
+
+	fmt.Printf("== training %s / %s model (%d sims, batches of %d) ==\n", st.Name, app, cfg.End, cfg.Step)
+	oracle := experiments.NewSimOracle(st, app, cfg.TraceLen, experiments.IPCOnly)
+	ex, err := core.NewExplorer(st.Space, oracle, core.ExploreConfig{
+		Model:      cfg.Model,
+		BatchSize:  cfg.Step,
+		MaxSamples: cfg.End,
+		Seed:       r.seed,
+	})
+	fatal(err)
+	ens, err := ex.Run()
+	fatal(err)
+	steps := ex.Steps()
+	last := steps[len(steps)-1]
+	fmt.Printf("%d sims (%.2f%% of space): estimated %.2f%% ± %.2f%%\n",
+		last.Samples, 100*last.Fraction, last.Est.MeanErr, last.Est.SDErr)
+	b, err := bundle.New(st.Space, ens, bundle.Meta{
+		Study:   st.Name,
+		App:     app,
+		Metric:  "IPC",
+		Samples: len(ex.Samples()),
+		Model:   cfg.Model,
+	})
+	fatal(err)
+	fatal(b.WriteFile(save))
+	fmt.Printf("saved model bundle to %s (serve it: go run ./cmd/serve %s)\n", save, save)
 }
 
 func (r *runner) active() {

@@ -1,0 +1,86 @@
+// Command serve turns saved model bundles into a long-running query
+// service — the paper's "train once, query forever" loop over HTTP:
+//
+//	dsexplore -study memory -app mcf -save mcf.bundle   # train + save
+//	serve -model mcf=mcf.bundle                         # serve it
+//	curl -s localhost:8080/v1/predict \
+//	     -d '{"model":"mcf","point":1234}'
+//
+// Bundles may also be passed as bare arguments, in which case each is
+// registered under its file basename. Concurrent single-point requests
+// are coalesced into batched ensemble calls; see internal/serve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "goroutines per model for batched prediction (0 = all cores)")
+	maxBatch := flag.Int("coalesce-batch", 256, "max single-point requests answered per batched flush")
+	linger := flag.Duration("coalesce-linger", 200*time.Microsecond, "how long a flush waits for more requests")
+	var models []string
+	flag.Func("model", "name=bundle.json model to serve (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		models = append(models, v)
+		return nil
+	})
+	flag.Parse()
+
+	// Bare arguments are bundles named by file basename.
+	for _, path := range flag.Args() {
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		models = append(models, name+"="+path)
+	}
+	if len(models) == 0 {
+		fatal(fmt.Errorf("no models: pass -model name=bundle.json or bundle paths as arguments"))
+	}
+
+	reg := serve.NewRegistry()
+	opts := serve.CoalesceOpts{MaxBatch: *maxBatch, Linger: *linger}
+	for _, spec := range models {
+		name, path, _ := strings.Cut(spec, "=")
+		b, err := bundle.ReadFile(path)
+		fatal(err)
+		b.Ensemble.SetWorkers(*workers)
+		_, err = reg.Add(name, b, opts)
+		fatal(err)
+		est := b.Ensemble.Estimate()
+		fmt.Printf("loaded %-16s %s space, %d points, %d members, estimated %.2f%% ± %.2f%% (%s/%s, %d sims)\n",
+			name, b.Space.Name, b.Space.Size(), b.Ensemble.Members(),
+			est.MeanErr, est.SDErr, b.Meta.Study, b.Meta.App, b.Meta.Samples)
+	}
+
+	fmt.Printf("serving %d model(s) on %s\n", reg.Len(), *addr)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.New(reg),
+		// A long-running service must not let stalled clients pin
+		// goroutines and file descriptors forever; request bodies are
+		// small JSON documents, so these bounds are generous.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute, // full-size sensitivity sweeps included
+		IdleTimeout:       2 * time.Minute,
+	}
+	fatal(srv.ListenAndServe())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"repro/internal/ann"
+	"repro/internal/bundle"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/experiments"
@@ -29,39 +31,53 @@ func main() {
 	axes := flag.Bool("axes", false, "scan per-axis IPC sensitivity instead of training")
 	sp := flag.Bool("simpoint", false, "scan SimPoint estimate error vs interval length")
 	workers := flag.Int("workers", 0, "goroutines for fold training and batched prediction (0 = all cores)")
+	savePath := flag.String("save", "", "write the best variant's model bundle to this path (for cmd/serve)")
+	loadPath := flag.String("load", "", "benchmark a saved model bundle against the eval set instead of training")
 	flag.Parse()
 
 	study, err := studies.ByName(*studyName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *axes {
-		axisScan(study, *app, *insts, 24, 5)
+	if *savePath != "" && *loadPath != "" {
+		log.Fatal("-save and -load are mutually exclusive (a loaded bundle is already saved)")
+	}
+	if *axes || *sp {
+		// The scan modes neither train nor load a model; refuse the
+		// bundle flags instead of silently ignoring them.
+		if *savePath != "" || *loadPath != "" {
+			log.Fatal("-save/-load apply to the model-quality sweep only, not -axes/-simpoint")
+		}
+		if *axes {
+			axisScan(study, *app, *insts, 24, 5)
+		} else {
+			simpointScan(study, *app, *insts)
+		}
 		return
 	}
-	if *sp {
-		simpointScan(study, *app, *insts)
-		return
+	// Resolve the bundle before any simulation: its recorded application
+	// decides which workload the "true error" is measured against, and
+	// its cross-validated encoder is the one its networks were trained
+	// with. An explicit -app is honored (cross-app evaluation) with a
+	// warning.
+	appName := *app
+	var loaded *bundle.Bundle
+	if *loadPath != "" {
+		b, resolvedApp, err := cliutil.ResolveBundle("tune", *loadPath, study.Space, "app", appName, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		appName = resolvedApp
+		loaded = b
 	}
-	oracle := experiments.NewSimOracle(study, *app, *insts, experiments.IPCOnly)
+
+	oracle := experiments.NewSimOracle(study, appName, *insts, experiments.IPCOnly)
 	rng := stats.NewRNG(11)
 	trainIdx := study.Space.Sample(rng, *n+400)
 	evalIdx := trainIdx[*n:]
 	trainIdx = trainIdx[:*n]
 
 	enc := encoding.NewEncoder(study.Space)
-	X := make([][]float64, len(trainIdx))
-	for i, idx := range trainIdx {
-		X[i] = enc.EncodeIndex(idx, nil)
-	}
-	ipcs, err := oracle.IPCs(trainIdx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	Y := make([][]float64, len(ipcs))
-	for i, v := range ipcs {
-		Y[i] = []float64{v}
-	}
 	evalTruth, err := oracle.IPCs(evalIdx)
 	if err != nil {
 		log.Fatal(err)
@@ -90,11 +106,38 @@ func main() {
 		{"tanh lr.02 h32 e800", mk(0.02, 0.998, []int{32}, 800, 80, ann.Tanh)},
 		{"lr.30 h16 e1500 p150", mk(0.30, 0.997, []int{16}, 1500, 150, ann.Sigmoid)},
 	}
+	if loaded != nil {
+		m, sd, _ := loaded.Ensemble.TrueError(loaded.Encoder, evalIdx, evalTruth)
+		fmt.Printf("%-24s true %6.2f%% ± %6.2f  est %6.2f%% ± %6.2f  (%s, %d sims behind it)\n",
+			"bundle "+*loadPath, m, sd, loaded.Ensemble.Estimate().MeanErr, loaded.Ensemble.Estimate().SDErr,
+			appName, loaded.Meta.Samples)
+		return
+	}
+
+	// Training targets cost *n simulations, so they are only computed on
+	// the training path (-load answers from the bundle alone).
+	X := make([][]float64, len(trainIdx))
+	for i, idx := range trainIdx {
+		X[i] = enc.EncodeIndex(idx, nil)
+	}
+	ipcs, err := oracle.IPCs(trainIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	Y := make([][]float64, len(ipcs))
+	for i, v := range ipcs {
+		Y[i] = []float64{v}
+	}
 	evalX := make([][]float64, len(evalIdx))
 	for i, idx := range evalIdx {
 		evalX[i] = enc.EncodeIndex(idx, nil)
 	}
 	baselines(X, ipcs, evalX, evalTruth)
+	var (
+		bestEns *core.Ensemble
+		bestCfg core.ModelConfig
+		bestErr float64
+	)
 	for _, v := range variants {
 		start := time.Now()
 		ens, err := core.TrainEnsemble(X, Y, v.cfg)
@@ -102,19 +145,28 @@ func main() {
 			log.Fatal(err)
 		}
 		// One batched prediction over the whole evaluation set.
-		preds := ens.PredictIndices(enc, evalIdx)
-		var errs []float64
-		for i := range evalIdx {
-			if evalTruth[i] != 0 {
-				d := (preds[i] - evalTruth[i]) / evalTruth[i] * 100
-				if d < 0 {
-					d = -d
-				}
-				errs = append(errs, d)
-			}
-		}
-		m, sd := stats.MeanStd(errs)
+		m, sd, _ := ens.TrueError(enc, evalIdx, evalTruth)
 		fmt.Printf("%-24s true %6.2f%% ± %6.2f  est %6.2f%% ± %6.2f  (%v)\n",
 			v.name, m, sd, ens.Estimate().MeanErr, ens.Estimate().SDErr, time.Since(start).Round(time.Millisecond))
+		if bestEns == nil || m < bestErr {
+			bestEns, bestCfg, bestErr = ens, v.cfg, m
+		}
+	}
+	if *savePath != "" {
+		b, err := bundle.New(study.Space, bestEns, bundle.Meta{
+			Study:   study.Name,
+			App:     appName,
+			Metric:  "IPC",
+			Samples: len(trainIdx),
+			Model:   bestCfg,
+			Note:    fmt.Sprintf("best tune variant, true error %.2f%%", bestErr),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.WriteFile(*savePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved best variant (true %.2f%%) to %s\n", bestErr, *savePath)
 	}
 }

@@ -265,8 +265,11 @@ func (l *layer) forward(x []float64) []float64 {
 
 // Forward runs one example through the network and returns the output
 // activations. The returned slice is scratch owned by the network and
-// is overwritten by the next call; copy it if it must survive. For
-// scoring many points, ForwardBatch is substantially faster.
+// is overwritten by the next call; copy it if it must survive. Because
+// it writes the network-owned per-example buffers it is NOT safe for
+// concurrent use on a shared network — concurrent callers must go
+// through ForwardBatch with private Scratches, which is also
+// substantially faster for scoring many points.
 func (n *Network) Forward(x []float64) []float64 {
 	if len(x) != n.cfg.Inputs {
 		panic(fmt.Sprintf("ann: got %d inputs, network has %d", len(x), n.cfg.Inputs))

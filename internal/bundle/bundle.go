@@ -1,0 +1,207 @@
+// Package bundle persists a trained design-space model as one
+// versioned artifact — the "train once, query forever" half of the
+// paper's promise. A bundle couples everything a process needs to
+// answer queries without retraining or resimulating: the design space
+// definition, the input-encoding parameters the networks were trained
+// against, the cross-validation ensemble itself, and provenance
+// metadata (which study/application produced it, how many simulations
+// it cost, what accuracy its own estimate claims).
+//
+// Loading is strict: the space is rebuilt and revalidated, the encoder
+// derived from it must reproduce the stored encoding Spec exactly, and
+// the ensemble's input width must match the encoder's — a bundle whose
+// parts disagree is rejected rather than allowed to serve silently
+// shifted predictions.
+package bundle
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/space"
+)
+
+// Version identifies the on-disk format.
+const Version = 1
+
+// Meta is the provenance record of a trained model.
+type Meta struct {
+	Study   string `json:"study,omitempty"`   // study name (memory, processor, ...)
+	App     string `json:"app,omitempty"`     // application/benchmark the oracle ran
+	Metric  string `json:"metric,omitempty"`  // primary target metric, e.g. "IPC"
+	Samples int    `json:"samples,omitempty"` // simulations the training set cost
+	// Model records the hyperparameters the ensemble was trained with;
+	// zero-valued when the bundle was assembled from a bare ensemble.
+	Model core.ModelConfig `json:"model"`
+	Note  string           `json:"note,omitempty"`
+}
+
+// Bundle is a loaded (or about-to-be-saved) model artifact.
+type Bundle struct {
+	Space    *space.Space
+	Encoder  *encoding.Encoder
+	Ensemble *core.Ensemble
+	Meta     Meta
+}
+
+// serializedBundle is the on-disk form. The ensemble reuses its own
+// versioned serialization as a nested document.
+type serializedBundle struct {
+	Version   int             `json:"version"`
+	SpaceName string          `json:"spaceName"`
+	Params    []space.Param   `json:"params"`
+	Encoder   encoding.Spec   `json:"encoder"`
+	Meta      Meta            `json:"meta"`
+	Ensemble  json.RawMessage `json:"ensemble"`
+}
+
+// New assembles a bundle from a space and a trained ensemble,
+// validating that the ensemble was trained on this space's encoding.
+func New(sp *space.Space, ens *core.Ensemble, meta Meta) (*Bundle, error) {
+	if sp == nil || ens == nil {
+		return nil, fmt.Errorf("bundle: need both a space and an ensemble")
+	}
+	enc := encoding.NewEncoder(sp)
+	if got, want := ens.Inputs(), enc.Width(); got != want {
+		return nil, fmt.Errorf("bundle: ensemble expects %d inputs, space %q encodes to %d",
+			got, sp.Name, want)
+	}
+	if meta.Samples == 0 {
+		meta.Samples = ens.Estimate().Points
+	}
+	return &Bundle{Space: sp, Encoder: enc, Ensemble: ens, Meta: meta}, nil
+}
+
+// Save writes the bundle to w as one JSON document.
+func (b *Bundle) Save(w io.Writer) error {
+	var ensBuf bytes.Buffer
+	if err := b.Ensemble.Save(&ensBuf); err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	s := serializedBundle{
+		Version:   Version,
+		SpaceName: b.Space.Name,
+		Params:    b.Space.Params,
+		Encoder:   b.Encoder.Spec(),
+		Meta:      b.Meta,
+		Ensemble:  json.RawMessage(ensBuf.Bytes()),
+	}
+	if err := json.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("bundle: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a bundle written by Save and cross-validates its parts
+// before returning it.
+func Load(r io.Reader) (*Bundle, error) {
+	var s serializedBundle
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("bundle: load: %w", err)
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("bundle: load: unsupported version %d (this build reads %d)", s.Version, Version)
+	}
+	sp, err := space.NewChecked(s.SpaceName, s.Params)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: load: invalid design space: %w", err)
+	}
+	enc := encoding.NewEncoder(sp)
+	// The encoder the stored space induces must reproduce the encoding
+	// the networks were trained against, input for input.
+	if err := enc.Matches(s.Encoder); err != nil {
+		return nil, fmt.Errorf("bundle: load: stored encoding does not match space %q: %w", sp.Name, err)
+	}
+	if len(s.Ensemble) == 0 {
+		return nil, fmt.Errorf("bundle: load: no ensemble document")
+	}
+	ens, err := core.LoadEnsemble(bytes.NewReader(s.Ensemble))
+	if err != nil {
+		return nil, fmt.Errorf("bundle: load: %w", err)
+	}
+	if got, want := ens.Inputs(), enc.Width(); got != want {
+		return nil, fmt.Errorf("bundle: load: ensemble expects %d inputs, space %q encodes to %d",
+			got, sp.Name, want)
+	}
+	return &Bundle{Space: sp, Encoder: enc, Ensemble: ens, Meta: s.Meta}, nil
+}
+
+// WriteFile saves the bundle to path (0644, truncating).
+func (b *Bundle) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if err := b.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a bundle from path.
+func ReadFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: %w", err)
+	}
+	defer f.Close()
+	b, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// CompatibleWith reports whether the bundle's model may be interpreted
+// under sp — i.e. whether indices, choice vectors, Describe output and
+// sensitivity sweeps computed against sp mean the same thing they meant
+// at training time. It requires the parameter definitions to match
+// exactly: a name+size comparison alone would accept a compiled-in
+// study whose levels drifted in place (say one cache-size setting
+// 64→96), which keeps the encoder's min/max ranges and still shifts
+// every encoded input.
+func (b *Bundle) CompatibleWith(sp *space.Space) error {
+	if sp.Name != b.Space.Name || sp.Size() != b.Space.Size() {
+		return fmt.Errorf("bundle models space %q (%d points), not %q (%d points)",
+			b.Space.Name, b.Space.Size(), sp.Name, sp.Size())
+	}
+	if !reflect.DeepEqual(sp.Params, b.Space.Params) {
+		return fmt.Errorf("space %q's parameter definitions differ from the bundle's record (the study drifted since training)", sp.Name)
+	}
+	return nil
+}
+
+// ValidateIndex reports whether a flat design-point index is inside the
+// bundle's space.
+func (b *Bundle) ValidateIndex(idx int) error {
+	if idx < 0 || idx >= b.Space.Size() {
+		return fmt.Errorf("bundle: point %d outside space %q [0,%d)", idx, b.Space.Name, b.Space.Size())
+	}
+	return nil
+}
+
+// ValidateChoices reports whether a choice vector selects a legal
+// setting on every axis of the bundle's space.
+func (b *Bundle) ValidateChoices(choices []int) error {
+	if len(choices) != b.Space.NumParams() {
+		return fmt.Errorf("bundle: choice vector has %d entries, space %q has %d parameters",
+			len(choices), b.Space.Name, b.Space.NumParams())
+	}
+	for i, c := range choices {
+		if card := b.Space.Params[i].Card(); c < 0 || c >= card {
+			return fmt.Errorf("bundle: choice %d out of range [0,%d) for parameter %q",
+				c, card, b.Space.Params[i].Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Package cliutil holds small helpers shared by the cmd front ends.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bundle"
+	"repro/internal/space"
+)
+
+// FlagWasSet reports whether the named flag was passed explicitly on
+// the command line (flag.Parse must have run). Commands use it to tell
+// a deliberate choice apart from a default — e.g. whether -app was
+// chosen by the user or should be adopted from a loaded bundle's
+// provenance.
+func FlagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// ResolveBundle is the shared -load sequence of the bundle-aware cmds:
+// read the bundle, verify it is still interpretable under the
+// compiled-in study space, adopt the bundle's recorded application
+// unless the user explicitly chose one via appFlag (in which case a
+// cross-workload evaluation is assumed, with a warning to stderr), and
+// apply the worker bound. It returns the bundle and the application the
+// caller should simulate against.
+func ResolveBundle(cmd, path string, sp *space.Space, appFlag, app string, workers int) (*bundle.Bundle, string, error) {
+	b, err := bundle.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := b.CompatibleWith(sp); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Meta.App != "" && b.Meta.App != app {
+		if FlagWasSet(appFlag) {
+			fmt.Fprintf(os.Stderr, "%s: warning: bundle was trained on %q, evaluating against %q\n",
+				cmd, b.Meta.App, app)
+		} else {
+			app = b.Meta.App
+		}
+	}
+	b.Ensemble.SetWorkers(workers)
+	return b, app, nil
+}

@@ -102,6 +102,12 @@ func NewExplorer(sp *space.Space, oracle Oracle, cfg ExploreConfig) (*Explorer, 
 		sampled: make(map[int]bool),
 	}
 	for _, idx := range cfg.Exclude {
+		// Out-of-range indices would sit in sampled without ever being
+		// drawable, silently shrinking the complement arithmetic that
+		// Grow and selectByVariance size batches and pools by.
+		if idx < 0 || idx >= sp.Size() {
+			return nil, fmt.Errorf("core: Exclude index %d out of range [0,%d)", idx, sp.Size())
+		}
 		e.sampled[idx] = true // reserved forever, never trained on
 	}
 	return e, nil

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ann"
 	"repro/internal/encoding"
+	"repro/internal/stats"
 )
 
 // predictChunk is the number of design points one worker scores per
@@ -121,6 +122,32 @@ func (e *Ensemble) PredictIndices(enc *encoding.Encoder, idxs []int) []float64 {
 		enc.EncodeIndex(idx, xs[i*width:(i+1)*width])
 	}
 	return e.PredictBatch(xs, len(idxs), nil)
+}
+
+// TrueError measures the ensemble's mean and standard deviation of
+// absolute percentage error on the primary target over the given
+// design points, against the supplied ground truth (one batched
+// prediction, zero simulations). Points whose truth is exactly 0 are
+// skipped — percentage error is undefined there — and used reports how
+// many points actually entered the statistics.
+func (e *Ensemble) TrueError(enc *encoding.Encoder, idxs []int, truth []float64) (mean, sd float64, used int) {
+	if len(idxs) != len(truth) {
+		panic(fmt.Sprintf("core: %d points but %d truth values", len(idxs), len(truth)))
+	}
+	preds := e.PredictIndices(enc, idxs)
+	var errs []float64
+	for i := range idxs {
+		if truth[i] == 0 {
+			continue
+		}
+		d := (preds[i] - truth[i]) / truth[i] * 100
+		if d < 0 {
+			d = -d
+		}
+		errs = append(errs, d)
+	}
+	mean, sd = stats.MeanStd(errs)
+	return mean, sd, len(errs)
 }
 
 // predictRange scores rows [start, end) into out, reusing s.

@@ -162,3 +162,47 @@ func TestPredictBatchEmptyAndValidation(t *testing.T) {
 	}()
 	ens.PredictBatch(make([]float64, 3), 2, nil)
 }
+
+// TestTrueErrorSkipsZeroTruth pins the held-out evaluation helper the
+// cmds share: batched predictions against ground truth, with zero-truth
+// points excluded from the statistics (percentage error is undefined)
+// and reported via the used count.
+func TestTrueErrorSkipsZeroTruth(t *testing.T) {
+	cfg := fastModel()
+	cfg.Train.MaxEpochs = 60
+	cfg.Train.Patience = 15
+	ens, _ := trainSynthEnsemble(t, cfg, 31)
+	sp := synthSpace()
+	enc := newTestEncoder(sp)
+	idxs := []int{0, 5, 10, 15}
+	truth := make([]float64, len(idxs))
+	for i, idx := range idxs {
+		truth[i] = synthTarget(sp, idx)
+	}
+	truth[2] = 0 // undefined percentage error; must be skipped, not divided by
+
+	mean, sd, used := ens.TrueError(enc, idxs, truth)
+	if used != len(idxs)-1 {
+		t.Fatalf("used = %d, want %d", used, len(idxs)-1)
+	}
+	// Reference computation over the non-zero points.
+	preds := ens.PredictIndices(enc, idxs)
+	var errs []float64
+	for i := range idxs {
+		if truth[i] == 0 {
+			continue
+		}
+		errs = append(errs, math.Abs(preds[i]-truth[i])/truth[i]*100)
+	}
+	wantMean, wantSD := stats.MeanStd(errs)
+	if mean != wantMean || sd != wantSD {
+		t.Fatalf("TrueError = (%v,%v), reference = (%v,%v)", mean, sd, wantMean, wantSD)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TrueError accepted mismatched idxs/truth lengths")
+		}
+	}()
+	ens.TrueError(enc, idxs, truth[:2])
+}

@@ -20,7 +20,16 @@ type AxisSensitivity struct {
 	Name      string  // axis name
 	MeanSwing float64 // mean (max-min)/min predicted metric over base points, in %
 	MaxSwing  float64 // worst-case swing observed, in %
-	Rank      int     // 1 = most influential
+	// Bases is the number of base points swept; ValidBases counts the
+	// ones whose swept minimum was positive, i.e. where a percentage
+	// swing is defined at all. With linear (non-log) targets a model can
+	// predict ≤ 0 along a whole sweep, and an axis that loses every
+	// base carries no swing information — Degenerate marks that case so
+	// it is never mistaken for a measured "no influence".
+	Bases      int
+	ValidBases int
+	Degenerate bool
+	Rank       int // 1 = most influential; degenerate axes rank after all measured ones
 }
 
 // Sensitivity sweeps every axis of the space through the trained
@@ -78,10 +87,15 @@ func Sensitivity(ens *Ensemble, sp *space.Space, bases int, seed uint64) []AxisS
 			}
 		}
 		out[p] = AxisSensitivity{
-			Param:     p,
-			Name:      sp.Params[p].Name,
-			MeanSwing: stats.Mean(swings),
-			MaxSwing:  worst,
+			Param:      p,
+			Name:       sp.Params[p].Name,
+			MaxSwing:   worst,
+			Bases:      bases,
+			ValidBases: len(swings),
+			Degenerate: len(swings) == 0,
+		}
+		if len(swings) > 0 {
+			out[p].MeanSwing = stats.Mean(swings)
 		}
 	}
 	order := make([]int, len(out))
@@ -89,7 +103,13 @@ func Sensitivity(ens *Ensemble, sp *space.Space, bases int, seed uint64) []AxisS
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		return out[order[a]].MeanSwing > out[order[b]].MeanSwing
+		sa, sb := out[order[a]], out[order[b]]
+		// Axes with measured swings rank ahead of degenerate ones, whose
+		// MeanSwing of 0 is "unknown", not "uninfluential".
+		if sa.Degenerate != sb.Degenerate {
+			return !sa.Degenerate
+		}
+		return sa.MeanSwing > sb.MeanSwing
 	})
 	for rank, p := range order {
 		out[p].Rank = rank + 1

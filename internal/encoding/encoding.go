@@ -7,6 +7,7 @@
 package encoding
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/space"
@@ -51,6 +52,54 @@ func NewEncoder(sp *space.Space) *Encoder {
 
 // Width returns the number of network inputs the encoding produces.
 func (e *Encoder) Width() int { return e.width }
+
+// Spec is the serializable description of an Encoder: the input width
+// and the per-parameter normalization ranges and input offsets. An
+// Encoder is fully determined by its Space, so a Spec is redundant by
+// construction — which is exactly what makes it a cross-check: a model
+// bundle stores the Spec its networks were trained against, and a
+// loader rebuilds the encoder from the stored space and verifies the
+// two agree before serving a single prediction.
+type Spec struct {
+	Width int       `json:"width"`
+	Lo    []float64 `json:"lo"`  // per param: normalization range min (0 for nominal)
+	Hi    []float64 `json:"hi"`  // per param: normalization range max (0 for nominal)
+	Off   []int     `json:"off"` // per param: first input index
+}
+
+// Spec captures the encoder's parameters for serialization.
+func (e *Encoder) Spec() Spec {
+	return Spec{
+		Width: e.width,
+		Lo:    append([]float64(nil), e.lo...),
+		Hi:    append([]float64(nil), e.hi...),
+		Off:   append([]int(nil), e.off...),
+	}
+}
+
+// Matches reports whether s describes exactly this encoder; a non-nil
+// error names the first disagreement.
+func (e *Encoder) Matches(s Spec) error {
+	if s.Width != e.width {
+		return fmt.Errorf("encoding: spec width %d, encoder produces %d inputs", s.Width, e.width)
+	}
+	n := e.sp.NumParams()
+	if len(s.Lo) != n || len(s.Hi) != n || len(s.Off) != n {
+		return fmt.Errorf("encoding: spec describes %d/%d/%d params, space has %d",
+			len(s.Lo), len(s.Hi), len(s.Off), n)
+	}
+	for i := 0; i < n; i++ {
+		if s.Lo[i] != e.lo[i] || s.Hi[i] != e.hi[i] {
+			return fmt.Errorf("encoding: param %q normalization range [%g,%g] in spec, encoder has [%g,%g]",
+				e.sp.Params[i].Name, s.Lo[i], s.Hi[i], e.lo[i], e.hi[i])
+		}
+		if s.Off[i] != e.off[i] {
+			return fmt.Errorf("encoding: param %q at input offset %d in spec, encoder has %d",
+				e.sp.Params[i].Name, s.Off[i], e.off[i])
+		}
+	}
+	return nil
+}
 
 // Encode writes the encoded representation of the choice vector into
 // dst, which must have length Width(), and returns dst. Passing nil

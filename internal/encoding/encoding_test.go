@@ -165,3 +165,40 @@ func TestScalerDegenerateRange(t *testing.T) {
 		t.Fatalf("zero-span scale = %v, want 0.5", s.Scale(2))
 	}
 }
+
+func TestSpecRoundTripAndMatch(t *testing.T) {
+	sp := demoSpace()
+	e := NewEncoder(sp)
+	spec := e.Spec()
+	if spec.Width != e.Width() {
+		t.Fatalf("spec width %d, want %d", spec.Width, e.Width())
+	}
+	if err := e.Matches(spec); err != nil {
+		t.Fatalf("encoder rejects its own spec: %v", err)
+	}
+	// A spec from a different space must be rejected on every axis of
+	// disagreement: width, ranges, offsets, parameter count.
+	other := NewEncoder(space.New("other", []space.Param{
+		{Name: "Size", Kind: space.Cardinal, Values: []float64{8, 16, 128}},
+		{Name: "Policy", Kind: space.Nominal, Levels: []string{"WT", "WB", "WC"}},
+		{Name: "On", Kind: space.Boolean, Values: []float64{0, 1}},
+	})).Spec()
+	if err := e.Matches(other); err == nil {
+		t.Fatal("encoder accepted a spec with a different normalization range")
+	}
+	short := spec
+	short.Lo = short.Lo[:1]
+	if err := e.Matches(short); err == nil {
+		t.Fatal("encoder accepted a truncated spec")
+	}
+	wrongWidth := spec
+	wrongWidth.Width++
+	if err := e.Matches(wrongWidth); err == nil {
+		t.Fatal("encoder accepted a wrong-width spec")
+	}
+	wrongOff := e.Spec()
+	wrongOff.Off[1]++
+	if err := e.Matches(wrongOff); err == nil {
+		t.Fatal("encoder accepted a shifted input offset")
+	}
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// errClosed is returned to requests that arrive while the model is
+// being shut down.
+var errClosed = errors.New("serve: model closed")
+
+// CoalesceOpts tunes the request coalescer.
+type CoalesceOpts struct {
+	// MaxBatch flushes a batch once this many single-point requests are
+	// pending (default 256, half a predict chunk per flush at most).
+	MaxBatch int
+	// Linger is how long the dispatcher waits for more requests after
+	// the first one of a batch arrives (default 200µs). Zero keeps the
+	// default; coalescing cannot be disabled, only shortened, because a
+	// lone request still flushes after at most one linger window.
+	Linger time.Duration
+}
+
+func (o CoalesceOpts) withDefaults() CoalesceOpts {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.Linger <= 0 {
+		o.Linger = 200 * time.Microsecond
+	}
+	return o
+}
+
+// CoalesceStats counts the coalescer's traffic: Requests single-point
+// queries answered, in Flushes batched ensemble calls.
+type CoalesceStats struct {
+	Requests int64 `json:"requests"`
+	Flushes  int64 `json:"flushes"`
+}
+
+type pointReq struct {
+	x    []float64
+	resp chan pointResp
+}
+
+type pointResp struct {
+	mean, variance float64
+}
+
+// coalescer funnels concurrent single-point predictions into batched
+// ensemble calls. Per-point HTTP traffic would otherwise pay one full
+// per-member forward pass per request; the dispatcher instead gathers
+// whatever requests arrive within one linger window (or MaxBatch,
+// whichever is first) and answers them all with a single
+// PredictVarianceBatch, so serving throughput rides the same vectorized
+// kernels as candidate-pool scoring. Batching changes no bits: rows are
+// independent and the batched kernels are bit-identical to the
+// per-point path.
+type coalescer struct {
+	ens   *core.Ensemble
+	width int
+	opts  CoalesceOpts
+
+	reqs chan pointReq
+	quit chan struct{}
+	done chan struct{}
+
+	requests atomic.Int64
+	flushes  atomic.Int64
+
+	// Dispatcher-owned flush buffers, reused across flushes.
+	batch    []pointReq
+	xs       []float64
+	mean     []float64
+	variance []float64
+}
+
+func newCoalescer(ens *core.Ensemble, width int, opts CoalesceOpts) *coalescer {
+	c := &coalescer{
+		ens:   ens,
+		width: width,
+		opts:  opts.withDefaults(),
+		reqs:  make(chan pointReq),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// predict answers one encoded point through the coalescer.
+func (c *coalescer) predict(x []float64) (mean, variance float64, err error) {
+	r := pointReq{x: x, resp: make(chan pointResp, 1)}
+	select {
+	case c.reqs <- r:
+	case <-c.quit:
+		return 0, 0, errClosed
+	}
+	select {
+	case resp := <-r.resp:
+		return resp.mean, resp.variance, nil
+	case <-c.quit:
+		return 0, 0, errClosed
+	}
+}
+
+// stats returns the traffic counters.
+func (c *coalescer) stats() CoalesceStats {
+	return CoalesceStats{Requests: c.requests.Load(), Flushes: c.flushes.Load()}
+}
+
+// close stops the dispatcher; in-flight requests receive errClosed.
+func (c *coalescer) close() {
+	close(c.quit)
+	<-c.done
+}
+
+func (c *coalescer) run() {
+	defer close(c.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-c.quit:
+			return
+		case first := <-c.reqs:
+			c.batch = append(c.batch[:0], first)
+			timer.Reset(c.opts.Linger)
+		gather:
+			for len(c.batch) < c.opts.MaxBatch {
+				select {
+				case r := <-c.reqs:
+					c.batch = append(c.batch, r)
+				case <-timer.C:
+					break gather
+				case <-c.quit:
+					c.flush()
+					return
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			c.flush()
+		}
+	}
+}
+
+// flush answers every gathered request with one batched ensemble call.
+func (c *coalescer) flush() {
+	rows := len(c.batch)
+	if rows == 0 {
+		return
+	}
+	if need := rows * c.width; cap(c.xs) < need {
+		c.xs = make([]float64, need)
+		c.mean = make([]float64, rows)
+		c.variance = make([]float64, rows)
+	}
+	c.xs = c.xs[:rows*c.width]
+	c.mean = c.mean[:rows]
+	c.variance = c.variance[:rows]
+	for i, r := range c.batch {
+		copy(c.xs[i*c.width:(i+1)*c.width], r.x)
+	}
+	c.ens.PredictVarianceBatch(c.xs, rows, c.mean, c.variance)
+	c.flushes.Add(1)
+	c.requests.Add(int64(rows))
+	for i, r := range c.batch {
+		r.resp <- pointResp{mean: c.mean[i], variance: c.variance[i]}
+	}
+	c.batch = c.batch[:0]
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bundle"
+)
+
+// Model is one named entry of the registry: a loaded bundle plus its
+// request coalescer.
+type Model struct {
+	Name   string
+	Bundle *bundle.Bundle
+	coal   *coalescer
+}
+
+// Stats returns the model's coalescing counters.
+func (m *Model) Stats() CoalesceStats { return m.coal.stats() }
+
+// Registry holds the named models a server answers queries for. It is
+// safe for concurrent use; models are added at startup and read by
+// every request.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Add registers a bundle under name and starts its coalescer.
+func (r *Registry) Add(name string, b *bundle.Bundle, opts CoalesceOpts) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: model name must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[name]; dup {
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	m := &Model{
+		Name:   name,
+		Bundle: b,
+		coal:   newCoalescer(b.Ensemble, b.Encoder.Width(), opts),
+	}
+	r.models[name] = m
+	r.order = append(r.order, name)
+	return m, nil
+}
+
+// Get resolves a model by name. The empty name resolves to the single
+// registered model, so clients of a one-model server may omit it.
+func (r *Registry) Get(name string) (*Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.order) == 1 {
+			return r.models[r.order[0]], nil
+		}
+		return nil, fmt.Errorf("serve: %d models loaded, request must name one of them", len(r.order))
+	}
+	m, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// Names lists the registered models in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.order)
+}
+
+// Close stops every model's coalescer. In-flight requests receive an
+// error; the registry must not be used afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		r.models[name].coal.close()
+	}
+}

@@ -1,0 +1,316 @@
+// Package serve exposes trained model bundles as an HTTP JSON API —
+// the paper's "query the model instead of the simulator" loop as a
+// long-running service. One process loads any number of named bundles
+// (see internal/bundle) and answers:
+//
+//	GET  /healthz           liveness and model count
+//	GET  /v1/models         loaded models with provenance and accuracy estimates
+//	POST /v1/predict        one design point → prediction (+ member variance)
+//	POST /v1/predict/batch  many design points → predictions, one batched call
+//	POST /v1/variance       many design points → ensemble mean + disagreement
+//	GET  /v1/sensitivity    model-powered per-axis sensitivity ranking
+//
+// Design points are addressed either by flat index ("point"/"points")
+// or by explicit choice vectors ("choices"); both are validated against
+// the model's design space before encoding. Batch endpoints call the
+// vectorized ensemble kernels directly; concurrent single-point
+// requests are coalesced into shared batches (see coalesce.go), so a
+// flood of small queries rides the same kernels instead of degrading
+// into per-point forward passes.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// maxBatchRows bounds one batch request, keeping a single query from
+// monopolizing the process (a full-space sweep belongs in paged calls).
+const maxBatchRows = 65536
+
+// maxBodyBytes bounds request bodies; the largest legal batch of
+// choice vectors stays well under this.
+const maxBodyBytes = 16 << 20
+
+// Server is the HTTP front end over a model registry.
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// New builds a server over reg.
+func New(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/predict/batch", s.handlePredictBatch)
+	s.mux.HandleFunc("POST /v1/variance", s.handleVariance)
+	s.mux.HandleFunc("GET /v1/sensitivity", s.handleSensitivity)
+	s.mux.HandleFunc("POST /v1/sensitivity", s.handleSensitivity)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes one JSON document into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid request body: trailing data")
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.reg.Len()})
+}
+
+// modelInfo is one /v1/models entry.
+type modelInfo struct {
+	Name      string        `json:"name"`
+	Space     string        `json:"space"`
+	Points    int           `json:"points"`
+	Params    int           `json:"params"`
+	Inputs    int           `json:"inputs"`
+	Outputs   int           `json:"outputs"`
+	Members   int           `json:"members"`
+	Estimate  core.Estimate `json:"estimate"`
+	Meta      any           `json:"meta"`
+	Coalesced CoalesceStats `json:"coalesced"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	var out []modelInfo
+	for _, name := range s.reg.Names() {
+		m, err := s.reg.Get(name)
+		if err != nil {
+			continue // removed between Names and Get; nothing to report
+		}
+		b := m.Bundle
+		out = append(out, modelInfo{
+			Name:      m.Name,
+			Space:     b.Space.Name,
+			Points:    b.Space.Size(),
+			Params:    b.Space.NumParams(),
+			Inputs:    b.Encoder.Width(),
+			Outputs:   b.Ensemble.Outputs(),
+			Members:   b.Ensemble.Members(),
+			Estimate:  b.Ensemble.Estimate(),
+			Meta:      b.Meta,
+			Coalesced: m.Stats(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+// pointSpec addresses design points by flat index or choice vector.
+type pointSpec struct {
+	Model   string  `json:"model,omitempty"`
+	Point   *int    `json:"point,omitempty"`
+	Points  []int   `json:"points,omitempty"`
+	Choices [][]int `json:"choices,omitempty"`
+}
+
+// encodeOne resolves a single-point request into one encoded input row
+// and its flat index.
+func encodeOne(m *Model, req pointSpec) (x []float64, index int, err error) {
+	b := m.Bundle
+	if len(req.Points) > 0 {
+		return nil, 0, fmt.Errorf("single-point requests use \"point\" or one \"choices\" vector, not \"points\" (try /v1/predict/batch)")
+	}
+	switch {
+	case req.Point != nil && len(req.Choices) == 0:
+		if err := b.ValidateIndex(*req.Point); err != nil {
+			return nil, 0, err
+		}
+		return b.Encoder.EncodeIndex(*req.Point, nil), *req.Point, nil
+	case req.Point == nil && len(req.Choices) == 1:
+		if err := b.ValidateChoices(req.Choices[0]); err != nil {
+			return nil, 0, err
+		}
+		return b.Encoder.Encode(req.Choices[0], nil), b.Space.Index(req.Choices[0]), nil
+	default:
+		return nil, 0, fmt.Errorf("request must carry exactly one of \"point\" or one \"choices\" vector")
+	}
+}
+
+// encodeBatch resolves a batch request into a flat encoded matrix and
+// the flat index of every row.
+func encodeBatch(m *Model, req pointSpec) (xs []float64, idxs []int, err error) {
+	b := m.Bundle
+	if req.Point != nil {
+		return nil, nil, fmt.Errorf("batch requests use \"points\" or \"choices\", not \"point\"")
+	}
+	if (len(req.Points) == 0) == (len(req.Choices) == 0) {
+		return nil, nil, fmt.Errorf("request must carry exactly one of \"points\" or \"choices\"")
+	}
+	rows := len(req.Points) + len(req.Choices)
+	if rows > maxBatchRows {
+		return nil, nil, fmt.Errorf("batch of %d rows exceeds the %d-row limit; page the request", rows, maxBatchRows)
+	}
+	width := b.Encoder.Width()
+	xs = make([]float64, rows*width)
+	idxs = make([]int, rows)
+	for i, p := range req.Points {
+		if err := b.ValidateIndex(p); err != nil {
+			return nil, nil, fmt.Errorf("points[%d]: %v", i, err)
+		}
+		b.Encoder.EncodeIndex(p, xs[i*width:(i+1)*width])
+		idxs[i] = p
+	}
+	for i, c := range req.Choices {
+		if err := b.ValidateChoices(c); err != nil {
+			return nil, nil, fmt.Errorf("choices[%d]: %v", i, err)
+		}
+		b.Encoder.Encode(c, xs[i*width:(i+1)*width])
+		idxs[i] = b.Space.Index(c)
+	}
+	return xs, idxs, nil
+}
+
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*Model, pointSpec, bool) {
+	var req pointSpec
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, req, false
+	}
+	m, err := s.reg.Get(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return nil, req, false
+	}
+	return m, req, true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	m, req, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	x, index, err := encodeOne(m, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mean, variance, err := m.coal.predict(x)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":      m.Name,
+		"point":      index,
+		"prediction": mean,
+		"variance":   variance,
+	})
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	m, req, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	xs, idxs, err := encodeBatch(m, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	preds := m.Bundle.Ensemble.PredictBatch(xs, len(idxs), nil)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":       m.Name,
+		"points":      idxs,
+		"predictions": preds,
+	})
+}
+
+func (s *Server) handleVariance(w http.ResponseWriter, r *http.Request) {
+	m, req, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	xs, idxs, err := encodeBatch(m, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mean, variance := m.Bundle.Ensemble.PredictVarianceBatch(xs, len(idxs), nil, nil)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":     m.Name,
+		"points":    idxs,
+		"means":     mean,
+		"variances": variance,
+	})
+}
+
+// sensitivityRequest parameterizes the model-powered axis ranking.
+type sensitivityRequest struct {
+	Model string `json:"model,omitempty"`
+	Bases int    `json:"bases,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+func (s *Server) handleSensitivity(w http.ResponseWriter, r *http.Request) {
+	var req sensitivityRequest
+	if r.Method == http.MethodPost {
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		q := r.URL.Query()
+		req.Model = q.Get("model")
+		if v := q.Get("bases"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bases must be an integer, got %q", v)
+				return
+			}
+			req.Bases = n
+		}
+		if v := q.Get("seed"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "seed must be an unsigned integer, got %q", v)
+				return
+			}
+			req.Seed = n
+		}
+	}
+	// The contract is identical for both methods: 0 (or absent) selects
+	// the default sample of 20 base points; negative is an error rather
+	// than a silent default.
+	if req.Bases < 0 || req.Bases > 1024 {
+		writeError(w, http.StatusBadRequest, "bases must be in [0,1024] (0 = default), got %d", req.Bases)
+		return
+	}
+	m, err := s.reg.Get(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	axes := core.RankedSensitivities(core.Sensitivity(m.Bundle.Ensemble, m.Bundle.Space, req.Bases, req.Seed))
+	writeJSON(w, http.StatusOK, map[string]any{"model": m.Name, "axes": axes})
+}

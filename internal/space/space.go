@@ -136,6 +136,18 @@ func New(name string, params []Param) *Space {
 	return s
 }
 
+// NewChecked is New with errors instead of panics, for space
+// definitions that arrive from outside the program — deserialized model
+// bundles rather than compiled-in study descriptions.
+func NewChecked(name string, params []Param) (s *Space, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	return New(name, params), nil
+}
+
 // Size returns the total number of design points.
 func (s *Space) Size() int { return s.size }
 
