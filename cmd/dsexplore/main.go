@@ -5,8 +5,17 @@
 //
 //	dsexplore -study processor -app mcf -target 1.5 -budget 900
 //
-// After exploration it reports the model's predicted optimum and checks
-// it against one confirming simulation.
+// Exploration runs on the pipelined engine (internal/explore):
+// simulations fan out over -oracle-workers goroutines, training
+// overlaps with the next round's simulations, and failing design points
+// are retried then quarantined instead of aborting the run. With
+// -checkpoint the run is durable — kill it anywhere and
+//
+//	dsexplore -resume run.checkpoint
+//
+// finishes it with bit-identical results. After exploration it reports
+// the model's predicted optimum and checks it against one confirming
+// simulation.
 //
 // -save writes the trained model as a bundle (space + encoding +
 // ensemble + provenance) for cmd/serve; -load skips exploration and
@@ -14,9 +23,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/bundle"
@@ -24,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/studies"
 )
 
@@ -37,26 +49,37 @@ func main() {
 	paperCfg := flag.Bool("paper", false, "use the paper's exact ANN hyperparameters (slower training)")
 	active := flag.Bool("active", false, "use variance-driven (active) sampling instead of random")
 	workers := flag.Int("workers", 0, "goroutines for fold training and batched prediction (0 = all cores)")
+	oracleWorkers := flag.Int("oracle-workers", 0, "goroutines simulating design points concurrently (0 = all cores)")
+	retries := flag.Int("retries", 0, "oracle retries per failing point before quarantine (0 = default, negative = none)")
+	ckptPath := flag.String("checkpoint", "", "write a resumable snapshot here after every round")
+	resumePath := flag.String("resume", "", "resume a killed run from its checkpoint (study/app/budget come from the file)")
 	savePath := flag.String("save", "", "write the trained model bundle to this path (for cmd/serve)")
 	loadPath := flag.String("load", "", "load a model bundle instead of exploring (no training simulations)")
 	seed := flag.Uint64("seed", 1, "")
 	flag.Parse()
 
-	study, err := studies.ByName(*studyName)
-	fatal(err)
 	if *savePath != "" && *loadPath != "" {
 		fatal(fmt.Errorf("-save and -load are mutually exclusive (a loaded bundle is already saved)"))
 	}
+	if *loadPath != "" && *resumePath != "" {
+		fatal(fmt.Errorf("-load and -resume are mutually exclusive"))
+	}
 
 	var (
-		ens *core.Ensemble
-		enc *encoding.Encoder
+		study *studies.Study
+		ens   *core.Ensemble
+		enc   *encoding.Encoder
+		err   error
 	)
 	appName := *app
+	insts := *traceLen // resumed runs adopt the checkpoint's trace length
+	sensSeed := *seed  // ... and its seed, for the sensitivity report
 	if *loadPath != "" {
+		study, err = studies.ByName(*studyName)
+		fatal(err)
 		// A loaded bundle answers everything without exploring; refuse
 		// exploration flags instead of silently ignoring them.
-		for _, f := range []string{"active", "paper", "budget", "batch", "target"} {
+		for _, f := range []string{"active", "paper", "budget", "batch", "target", "checkpoint", "oracle-workers", "retries"} {
 			if cliutil.FlagWasSet(f) {
 				fatal(fmt.Errorf("-%s controls exploration and has no effect with -load", f))
 			}
@@ -71,52 +94,116 @@ func main() {
 		est := ens.Estimate()
 		fmt.Printf("%s study / %s: loaded %s (%d-sim model, estimated %.2f%% ± %.2f%%)\n",
 			study.Name, appName, *loadPath, b.Meta.Samples, est.MeanErr, est.SDErr)
-	}
-	oracle := experiments.NewSimOracle(study, appName, *traceLen, experiments.IPCOnly)
-	if *loadPath == "" {
-		cfg := core.ExploreConfig{
-			Model:         core.DefaultModelConfig(),
-			BatchSize:     *batch,
-			MaxSamples:    *budget,
-			TargetMeanErr: *target,
-			Seed:          *seed,
+	} else {
+		var drv *explore.Driver
+		pipe := explore.Pipeline{
+			Workers:        *oracleWorkers,
+			Retries:        *retries,
+			CheckpointPath: *ckptPath,
 		}
-		if *paperCfg {
-			cfg.Model = core.PaperConfig()
-		}
-		cfg.Model.Workers = *workers
-		if *active {
-			cfg.Strategy = core.SelectVariance
+		if *resumePath != "" {
+			// The checkpoint is authoritative for everything that shapes
+			// results; refuse conflicting flags instead of silently
+			// ignoring them.
+			for _, f := range []string{"study", "app", "insts", "budget", "batch", "target", "active", "paper", "seed"} {
+				if cliutil.FlagWasSet(f) {
+					fatal(fmt.Errorf("-%s comes from the checkpoint and cannot be overridden with -resume", f))
+				}
+			}
+			cp, err := bundle.ReadCheckpointFile(*resumePath)
+			fatal(err)
+			if cp.Meta.Study == "" || cp.Meta.App == "" {
+				fatal(fmt.Errorf("%s carries no study/app provenance; was it written by dsexplore -checkpoint?", *resumePath))
+			}
+			study, err = studies.ByName(cp.Meta.Study)
+			fatal(err)
+			fatal(cp.CompatibleWith(study.Space))
+			appName = cp.Meta.App
+			insts = cp.Meta.TraceLen
+			sensSeed = cp.Config.Seed
+			// Scheduling knobs cannot change results, so — unlike the
+			// flags above — an explicit -workers is honored on resume
+			// (a run checkpointed on a big box may finish on a small
+			// one).
+			if cliutil.FlagWasSet("workers") {
+				cp.Config.Model.Workers = *workers
+			}
+			if pipe.CheckpointPath == "" {
+				pipe.CheckpointPath = *resumePath // keep rolling the same file
+			}
+			oracle := experiments.NewSimOracle(study, appName, insts, experiments.IPCOnly)
+			drv, err = explore.Resume(cp, oracle, pipe)
+			fatal(err)
+			fmt.Printf("%s study / %s: resumed %s at %d simulations (%d rounds done)\n",
+				study.Name, appName, *resumePath, len(drv.Samples()), len(drv.Steps()))
+		} else {
+			study, err = studies.ByName(*studyName)
+			fatal(err)
+			cfg := core.ExploreConfig{
+				Model:         core.DefaultModelConfig(),
+				BatchSize:     *batch,
+				MaxSamples:    *budget,
+				TargetMeanErr: *target,
+				Seed:          *seed,
+			}
+			if *paperCfg {
+				cfg.Model = core.PaperConfig()
+			}
+			cfg.Model.Workers = *workers
+			if *active {
+				cfg.Strategy = core.SelectVariance
+			}
+			pipe.Meta = bundle.Meta{
+				Study:    study.Name,
+				App:      appName,
+				Metric:   "IPC",
+				TraceLen: insts,
+				Model:    cfg.Model,
+			}
+			oracle := experiments.NewSimOracle(study, appName, insts, experiments.IPCOnly)
+			drv, err = explore.New(study.Space, oracle, explore.Config{ExploreConfig: cfg, Pipeline: pipe})
+			fatal(err)
+			fmt.Printf("%s study / %s: %d-point space, batches of %d, target %.1f%%\n\n",
+				study.Name, appName, study.Space.Size(), *batch, *target)
 		}
 
-		ex, err := core.NewExplorer(study.Space, oracle, cfg)
-		fatal(err)
-
-		fmt.Printf("%s study / %s: %d-point space, batches of %d, target %.1f%%\n\n",
-			study.Name, appName, study.Space.Size(), *batch, *target)
+		// Ctrl-C stops cleanly at the in-flight round; with -checkpoint
+		// the run is resumable from the last completed one.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
 		start := time.Now()
-		ens, err = ex.Run()
+		ens, err = drv.Run(ctx)
+		if err != nil && ctx.Err() != nil && pipe.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "dsexplore: interrupted; finish with: dsexplore -resume %s\n", pipe.CheckpointPath)
+		}
 		fatal(err)
-		for _, s := range ex.Steps() {
+		for _, s := range drv.Steps() {
 			fmt.Printf("  %4d sims (%5.2f%%): estimated %5.2f%% ± %5.2f%%  (train %v)\n",
 				s.Samples, 100*s.Fraction, s.Est.MeanErr, s.Est.SDErr, s.TrainTime.Round(time.Millisecond))
 		}
-		fmt.Printf("\n%d simulations, %v wall clock\n", oracle.SimulationsRun(), time.Since(start).Round(time.Millisecond))
-		enc = ex.Encoder()
+		fmt.Printf("\n%d simulations recorded, %v wall clock\n", len(drv.Samples()), time.Since(start).Round(time.Millisecond))
+		if q := drv.Quarantined(); len(q) > 0 {
+			fmt.Printf("%d design points quarantined after oracle failures:\n", len(q))
+			for _, p := range q {
+				fmt.Printf("  point %d (%d attempts): %s\n", p.Index, p.Attempts, p.Error)
+			}
+		}
+		enc = drv.Encoder()
 
 		if *savePath != "" {
-			b, err := bundle.New(study.Space, ens, bundle.Meta{
-				Study:   study.Name,
-				App:     appName,
-				Metric:  "IPC",
-				Samples: len(ex.Samples()),
-				Model:   cfg.Model,
-			})
+			meta := pipe.Meta
+			if meta.Study == "" { // resumed runs carry meta in the driver's checkpoint
+				meta = drv.Checkpoint().Meta
+			}
+			meta.Samples = len(drv.Samples())
+			b, err := bundle.New(study.Space, ens, meta)
 			fatal(err)
 			fatal(b.WriteFile(*savePath))
 			fmt.Printf("saved model bundle to %s (serve it: go run ./cmd/serve %s)\n", *savePath, *savePath)
 		}
 	}
+
+	oracle := experiments.NewSimOracle(study, appName, insts, experiments.IPCOnly)
 
 	// Predicted optimum over the whole space, verified once. The sweep
 	// scores the full design space in batched chunks.
@@ -146,7 +233,7 @@ func main() {
 	// motivates the paper (§2), at the cost of network evaluations
 	// instead of simulations.
 	fmt.Println("\nmodel-based parameter sensitivity (predicted IPC swing per axis):")
-	for _, s := range core.RankedSensitivities(core.Sensitivity(ens, study.Space, 24, *seed)) {
+	for _, s := range core.RankedSensitivities(core.Sensitivity(ens, study.Space, 24, sensSeed)) {
 		if s.Degenerate {
 			fmt.Printf("  %2d. %-22s swing undefined (0/%d valid base points)\n", s.Rank, s.Name, s.Bases)
 			continue

@@ -9,6 +9,18 @@
 // Bundles may also be passed as bare arguments, in which case each is
 // registered under its file basename. Concurrent single-point requests
 // are coalesced into batched ensemble calls; see internal/serve.
+//
+// The server also runs exploration itself: POST /v1/explore submits an
+// asynchronous job that drives the pipelined engine (internal/explore)
+// against the cycle-level simulator and registers the finished model
+// under the requested name — no bundle files needed:
+//
+//	serve -jobs 2                                       # empty registry is fine
+//	curl -s localhost:8080/v1/explore \
+//	     -d '{"name":"mcf","study":"memory","app":"mcf","budget":500}'
+//	curl -s localhost:8080/v1/jobs/job-1                # live round progress
+//	curl -s localhost:8080/v1/predict \
+//	     -d '{"model":"mcf","point":1234}'              # once done
 package main
 
 import (
@@ -21,7 +33,11 @@ import (
 	"time"
 
 	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/serve"
+	"repro/internal/space"
+	"repro/internal/studies"
 )
 
 func main() {
@@ -29,6 +45,9 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines per model for batched prediction (0 = all cores)")
 	maxBatch := flag.Int("coalesce-batch", 256, "max single-point requests answered per batched flush")
 	linger := flag.Duration("coalesce-linger", 200*time.Microsecond, "how long a flush waits for more requests")
+	jobs := flag.Int("jobs", 1, "exploration jobs running concurrently (0 disables POST /v1/explore)")
+	jobQueue := flag.Int("job-queue", 16, "exploration jobs queued beyond the running ones before 429s")
+	defaultInsts := flag.Int("insts", 30000, "default instructions per simulation for exploration jobs")
 	var models []string
 	flag.Func("model", "name=bundle.json model to serve (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -44,8 +63,8 @@ func main() {
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		models = append(models, name+"="+path)
 	}
-	if len(models) == 0 {
-		fatal(fmt.Errorf("no models: pass -model name=bundle.json or bundle paths as arguments"))
+	if len(models) == 0 && *jobs <= 0 {
+		fatal(fmt.Errorf("nothing to serve: pass -model name=bundle.json (or bundle paths), or enable -jobs to explore on demand"))
 	}
 
 	reg := serve.NewRegistry()
@@ -63,10 +82,17 @@ func main() {
 			est.MeanErr, est.SDErr, b.Meta.Study, b.Meta.App, b.Meta.Samples)
 	}
 
+	var store *serve.JobStore
+	if *jobs > 0 {
+		store = serve.NewJobStore(reg, simBackend(*defaultInsts), *jobs, *jobQueue, opts)
+		defer store.Close()
+		fmt.Printf("exploration enabled: %d concurrent job(s), queue of %d (POST /v1/explore)\n", *jobs, *jobQueue)
+	}
+
 	fmt.Printf("serving %d model(s) on %s\n", reg.Len(), *addr)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(reg),
+		Handler: serve.NewWithJobs(reg, store),
 		// A long-running service must not let stalled clients pin
 		// goroutines and file descriptors forever; request bodies are
 		// small JSON documents, so these bounds are generous.
@@ -76,6 +102,32 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	fatal(srv.ListenAndServe())
+}
+
+// simBackend resolves exploration requests onto the compiled-in studies
+// and the cycle-level simulator — the same oracle cmd/dsexplore drives.
+func simBackend(defaultInsts int) serve.Backend {
+	return func(req serve.ExploreRequest) (*space.Space, core.Oracle, bundle.Meta, error) {
+		study, err := studies.ByName(req.Study)
+		if err != nil {
+			return nil, nil, bundle.Meta{}, err
+		}
+		if req.App == "" {
+			return nil, nil, bundle.Meta{}, fmt.Errorf("job needs an \"app\" (benchmark) to simulate")
+		}
+		traceLen := req.TraceLen
+		if traceLen <= 0 {
+			traceLen = defaultInsts
+		}
+		oracle := experiments.NewSimOracle(study, req.App, traceLen, experiments.IPCOnly)
+		meta := bundle.Meta{
+			Study:    study.Name,
+			App:      req.App,
+			Metric:   "IPC",
+			TraceLen: traceLen,
+		}
+		return study.Space, oracle, meta, nil
+	}
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/stats"
 	"repro/internal/studies"
 )
@@ -115,18 +117,26 @@ func main() {
 	}
 
 	// Training targets cost *n simulations, so they are only computed on
-	// the training path (-load answers from the bundle alone).
+	// the training path (-load answers from the bundle alone). They run
+	// through the exploration engine's fan-out evaluator: per-point
+	// parallelism with retries, and failures that name the offending
+	// design point. A fixed training set tolerates no holes, so any
+	// quarantine is fatal here.
 	X := make([][]float64, len(trainIdx))
 	for i, idx := range trainIdx {
 		X[i] = enc.EncodeIndex(idx, nil)
 	}
-	ipcs, err := oracle.IPCs(trainIdx)
+	okIdx, Y, quarantined, err := explore.EvaluateBatch(context.Background(), oracle, trainIdx, *workers, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	Y := make([][]float64, len(ipcs))
-	for i, v := range ipcs {
-		Y[i] = []float64{v}
+	if len(quarantined) > 0 {
+		q := quarantined[0]
+		log.Fatalf("tune: %d of %d training simulations failed; first: %s", len(quarantined), len(trainIdx), q.Error)
+	}
+	ipcs := make([]float64, len(okIdx))
+	for i, t := range Y {
+		ipcs[i] = t[0]
 	}
 	evalX := make([][]float64, len(evalIdx))
 	for i, idx := range evalIdx {

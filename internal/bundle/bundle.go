@@ -36,6 +36,9 @@ type Meta struct {
 	App     string `json:"app,omitempty"`     // application/benchmark the oracle ran
 	Metric  string `json:"metric,omitempty"`  // primary target metric, e.g. "IPC"
 	Samples int    `json:"samples,omitempty"` // simulations the training set cost
+	// TraceLen records the per-simulation instruction count the oracle
+	// ran, so a resumed exploration rebuilds the same oracle.
+	TraceLen int `json:"traceLen,omitempty"`
 	// Model records the hyperparameters the ensemble was trained with;
 	// zero-valued when the bundle was assembled from a bare ensemble.
 	Model core.ModelConfig `json:"model"`
@@ -171,12 +174,18 @@ func ReadFile(path string) (*Bundle, error) {
 // 64→96), which keeps the encoder's min/max ranges and still shifts
 // every encoded input.
 func (b *Bundle) CompatibleWith(sp *space.Space) error {
-	if sp.Name != b.Space.Name || sp.Size() != b.Space.Size() {
-		return fmt.Errorf("bundle models space %q (%d points), not %q (%d points)",
-			b.Space.Name, b.Space.Size(), sp.Name, sp.Size())
+	return spacesMatch(b.Space, sp, "bundle")
+}
+
+// spacesMatch verifies a persisted artifact's recorded space against a
+// compiled-in one, parameter definition for parameter definition.
+func spacesMatch(recorded, sp *space.Space, what string) error {
+	if sp.Name != recorded.Name || sp.Size() != recorded.Size() {
+		return fmt.Errorf("%s models space %q (%d points), not %q (%d points)",
+			what, recorded.Name, recorded.Size(), sp.Name, sp.Size())
 	}
-	if !reflect.DeepEqual(sp.Params, b.Space.Params) {
-		return fmt.Errorf("space %q's parameter definitions differ from the bundle's record (the study drifted since training)", sp.Name)
+	if !reflect.DeepEqual(sp.Params, recorded.Params) {
+		return fmt.Errorf("space %q's parameter definitions differ from the %s's record (the study drifted since training)", sp.Name, what)
 	}
 	return nil
 }

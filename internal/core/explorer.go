@@ -42,6 +42,44 @@ type ExploreConfig struct {
 	Seed    uint64
 }
 
+// Validate reports structural problems with the loop configuration
+// against the given design space.
+func (c ExploreConfig) Validate(sp *space.Space) error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("core: batch size must be positive")
+	}
+	if c.MaxSamples < c.BatchSize {
+		return fmt.Errorf("core: MaxSamples (%d) below one batch (%d)", c.MaxSamples, c.BatchSize)
+	}
+	for _, idx := range c.Exclude {
+		// Out-of-range indices would sit reserved without ever being
+		// drawable, silently shrinking the complement arithmetic that
+		// batch and pool sizes are derived from.
+		if idx < 0 || idx >= sp.Size() {
+			return fmt.Errorf("core: Exclude index %d out of range [0,%d)", idx, sp.Size())
+		}
+	}
+	return nil
+}
+
+// SeedRNG returns the selection RNG the configuration induces; the
+// explorer and the pipelined driver both draw from this stream.
+func (c ExploreConfig) SeedRNG() *stats.RNG {
+	return stats.NewRNG(c.Seed ^ 0xE1F00D)
+}
+
+// RoundModel returns the model configuration for an ensemble trained on
+// samples points: a per-round seed derived from the loop seed, so fold
+// shuffles differ as data grows but remain reproducible.
+func (c ExploreConfig) RoundModel(samples int) ModelConfig {
+	m := c.Model
+	m.Seed = c.Seed + uint64(samples)
+	return m
+}
+
 // DefaultExploreConfig mirrors the paper's experimental procedure:
 // batches of 50 random simulations, 10-fold CV ensembles, and a 2%
 // mean-error stopping threshold.
@@ -64,18 +102,26 @@ type Step struct {
 }
 
 // Explorer runs the paper's fully automated modeling procedure
-// (§3.3, steps 1–8) over one design space and oracle.
+// (§3.3, steps 1–8) over one design space and oracle, strictly
+// sequentially: each round selects a batch, blocks on one oracle call,
+// then blocks on ensemble training.
+//
+// Explorer is kept as the compatibility surface and the deterministic
+// reference implementation; the pipelined engine in internal/explore
+// overlaps these stages, fans the oracle out over workers and
+// checkpoints between rounds, and is tested to reproduce this loop
+// bit-identically. New code should prefer explore.Driver.
 type Explorer struct {
-	sp      *space.Space
-	enc     *encoding.Encoder
-	oracle  Oracle
-	cfg     ExploreConfig
-	rng     *stats.RNG
-	sampled map[int]bool
+	sp     *space.Space
+	enc    *encoding.Encoder
+	oracle Oracle
+	cfg    ExploreConfig
+	sel    *BatchSelector
 
 	indices []int       // simulated design points, in sampling order
 	inputs  [][]float64 // encoded inputs, aligned with indices
 	targets [][]float64 // oracle target vectors, aligned with indices
+	width   int         // established target-vector width (0 before any)
 
 	ens   *Ensemble
 	steps []Step
@@ -84,31 +130,19 @@ type Explorer struct {
 // NewExplorer constructs an explorer over the design space with the
 // given oracle.
 func NewExplorer(sp *space.Space, oracle Oracle, cfg ExploreConfig) (*Explorer, error) {
-	if err := cfg.Model.Validate(); err != nil {
+	if err := cfg.Validate(sp); err != nil {
 		return nil, err
 	}
-	if cfg.BatchSize <= 0 {
-		return nil, fmt.Errorf("core: batch size must be positive")
-	}
-	if cfg.MaxSamples < cfg.BatchSize {
-		return nil, fmt.Errorf("core: MaxSamples (%d) below one batch (%d)", cfg.MaxSamples, cfg.BatchSize)
-	}
+	enc := encoding.NewEncoder(sp)
 	e := &Explorer{
-		sp:      sp,
-		enc:     encoding.NewEncoder(sp),
-		oracle:  oracle,
-		cfg:     cfg,
-		rng:     stats.NewRNG(cfg.Seed ^ 0xE1F00D),
-		sampled: make(map[int]bool),
+		sp:     sp,
+		enc:    enc,
+		oracle: oracle,
+		cfg:    cfg,
+		sel:    NewBatchSelector(sp, enc, cfg.SeedRNG()),
 	}
 	for _, idx := range cfg.Exclude {
-		// Out-of-range indices would sit in sampled without ever being
-		// drawable, silently shrinking the complement arithmetic that
-		// Grow and selectByVariance size batches and pools by.
-		if idx < 0 || idx >= sp.Size() {
-			return nil, fmt.Errorf("core: Exclude index %d out of range [0,%d)", idx, sp.Size())
-		}
-		e.sampled[idx] = true // reserved forever, never trained on
+		e.sel.Reserve(idx) // reserved forever, never trained on
 	}
 	return e, nil
 }
@@ -159,36 +193,26 @@ func (e *Explorer) Run() (*Ensemble, error) {
 // strategy), evaluates them through the oracle, and adds them to the
 // training pool.
 func (e *Explorer) Grow(n int) error {
-	if n <= 0 {
-		return nil
-	}
-	// sampled holds simulated points plus Exclude-reserved ones; only
-	// the complement is drawable by either strategy.
-	remaining := e.sp.Size() - len(e.sampled)
-	if n > remaining {
-		n = remaining
-	}
-	if n <= 0 {
-		return nil
-	}
 	var batch []int
 	if e.cfg.Strategy == SelectVariance && e.ens != nil {
-		batch = e.selectByVariance(n)
+		batch = e.sel.ByVariance(e.ens, n, e.cfg.CandidatePool)
 	} else {
-		batch = e.selectRandom(n)
+		batch = e.sel.Random(n)
+	}
+	if len(batch) == 0 {
+		return nil
 	}
 	targets, err := e.oracle.Evaluate(batch)
 	if err != nil {
 		return fmt.Errorf("core: oracle: %w", err)
 	}
-	if len(targets) != len(batch) {
-		return fmt.Errorf("core: oracle returned %d results for %d points", len(targets), len(batch))
+	width, err := CheckBatchTargets(batch, targets, e.width)
+	if err != nil {
+		return err
 	}
+	e.width = width
 	for i, idx := range batch {
-		if len(targets[i]) == 0 {
-			return fmt.Errorf("core: oracle returned empty target vector for point %d", idx)
-		}
-		e.sampled[idx] = true
+		e.sel.Reserve(idx)
 		e.indices = append(e.indices, idx)
 		e.inputs = append(e.inputs, e.enc.EncodeIndex(idx, nil))
 		e.targets = append(e.targets, targets[i])
@@ -200,11 +224,7 @@ func (e *Explorer) Grow(n int) error {
 // records the round.
 func (e *Explorer) TrainRound() error {
 	start := time.Now()
-	cfg := e.cfg.Model
-	// Derive a per-round seed so fold shuffles differ as data grows but
-	// remain reproducible.
-	cfg.Seed = e.cfg.Seed + uint64(len(e.indices))
-	ens, err := TrainEnsemble(e.inputs, e.targets, cfg)
+	ens, err := TrainEnsemble(e.inputs, e.targets, e.cfg.RoundModel(len(e.indices)))
 	if err != nil {
 		return err
 	}
@@ -216,82 +236,4 @@ func (e *Explorer) TrainRound() error {
 		TrainTime: time.Since(start),
 	})
 	return nil
-}
-
-// selectRandom draws n unsimulated points uniformly.
-func (e *Explorer) selectRandom(n int) []int {
-	out := make([]int, 0, n)
-	for len(out) < n {
-		idx := e.rng.Intn(e.sp.Size())
-		if e.sampled[idx] {
-			continue
-		}
-		e.sampled[idx] = true // reserve immediately to avoid duplicates in batch
-		out = append(out, idx)
-	}
-	// Un-reserve; Grow records them authoritatively after simulation.
-	for _, idx := range out {
-		delete(e.sampled, idx)
-	}
-	return out
-}
-
-// selectByVariance scores a random candidate pool with the current
-// ensemble and returns the n candidates with the highest member
-// disagreement. The whole pool is encoded into one flat matrix and
-// scored by a single batched prediction call, so a round costs one
-// ensemble sweep instead of thousands of per-point ones.
-func (e *Explorer) selectByVariance(n int) []int {
-	pool := e.cfg.CandidatePool
-	if pool <= 0 {
-		pool = 20 * n
-	}
-	// Clamp to the points actually drawable: sampled includes both
-	// simulated indices and Exclude-reserved ones, either of which the
-	// draw loop below rejects.
-	if avail := e.sp.Size() - len(e.sampled); pool > avail {
-		pool = avail
-	}
-	idxs := make([]int, 0, pool)
-	seen := make(map[int]bool, pool)
-	width := e.enc.Width()
-	xs := make([]float64, pool*width)
-	for len(idxs) < pool {
-		idx := e.rng.Intn(e.sp.Size())
-		if e.sampled[idx] || seen[idx] {
-			continue
-		}
-		seen[idx] = true
-		e.enc.EncodeIndex(idx, xs[len(idxs)*width:(len(idxs)+1)*width])
-		idxs = append(idxs, idx)
-	}
-	_, vs := e.ens.PredictVarianceBatch(xs, pool, nil, nil)
-	type scored struct {
-		idx int
-		v   float64
-	}
-	cands := make([]scored, pool)
-	for i, idx := range idxs {
-		cands[i] = scored{idx, vs[i]}
-	}
-	// Grow bounds n by the drawable complement, so pool >= n holds;
-	// keep the selection safe regardless.
-	if n > len(cands) {
-		n = len(cands)
-	}
-	// Partial selection of the top n by variance.
-	for i := 0; i < n; i++ {
-		best := i
-		for j := i + 1; j < len(cands); j++ {
-			if cands[j].v > cands[best].v {
-				best = j
-			}
-		}
-		cands[i], cands[best] = cands[best], cands[i]
-	}
-	out := make([]int, n)
-	for i := 0; i < n; i++ {
-		out[i] = cands[i].idx
-	}
-	return out
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/encoding"
@@ -219,5 +222,96 @@ func TestExplorerGrowBeyondSpaceIsBounded(t *testing.T) {
 	}
 	if len(ex.Samples()) != sp.Size() {
 		t.Fatalf("grew to %d of %d points", len(ex.Samples()), sp.Size())
+	}
+}
+
+// malformedOracle wraps synthTarget but corrupts its reply in a
+// configurable way, for the oracle-contract tests: the explorer must
+// reject short batches, empty vectors, non-finite values and width
+// drift — and name the offending design point, not just the batch.
+type malformedOracle struct {
+	sp   *space.Space
+	mode string // "short", "empty", "nan", "inf", "width"
+}
+
+func (o *malformedOracle) Evaluate(indices []int) ([][]float64, error) {
+	out := make([][]float64, len(indices))
+	for i, idx := range indices {
+		out[i] = []float64{synthTarget(o.sp, idx)}
+	}
+	if len(indices) == 0 {
+		return out, nil
+	}
+	victim := len(indices) / 2
+	switch o.mode {
+	case "short":
+		out = out[:len(out)-1]
+	case "empty":
+		out[victim] = nil
+	case "nan":
+		out[victim] = []float64{math.NaN()}
+	case "inf":
+		out[victim] = []float64{math.Inf(1)}
+	case "width":
+		out[victim] = []float64{1.0, 2.0} // widens mid-batch
+	}
+	return out, nil
+}
+
+func TestExplorerRejectsMalformedOracleReplies(t *testing.T) {
+	sp := synthSpace()
+	for _, mode := range []string{"short", "empty", "nan", "inf", "width"} {
+		t.Run(mode, func(t *testing.T) {
+			oracle := &malformedOracle{sp: sp, mode: mode}
+			cfg := ExploreConfig{Model: fastModel(), BatchSize: 10, MaxSamples: 20, Seed: 9}
+			ex, err := NewExplorer(sp, oracle, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = ex.Grow(10)
+			if err == nil {
+				t.Fatalf("%s oracle reply accepted", mode)
+			}
+			if mode != "short" {
+				// Per-point defects must name the offending design point.
+				batch := probeBatch(sp, cfg)
+				victim := batch[len(batch)/2]
+				if want := fmt.Sprintf("design point %d", victim); !strings.Contains(err.Error(), want) {
+					t.Fatalf("%s error %q does not name %s", mode, err, want)
+				}
+			}
+			if got := len(ex.Samples()); got != 0 {
+				t.Fatalf("%d samples recorded from a rejected batch", got)
+			}
+		})
+	}
+}
+
+// probeBatch reproduces the first batch an explorer with cfg would
+// draw, by replaying the same selection stream.
+func probeBatch(sp *space.Space, cfg ExploreConfig) []int {
+	sel := NewBatchSelector(sp, newTestEncoder(sp), cfg.SeedRNG())
+	return sel.Random(cfg.BatchSize)
+}
+
+func TestExplorerAcceptsConsistentMultiTargetWidths(t *testing.T) {
+	sp := synthSpace()
+	oracle := OracleFunc(func(indices []int) ([][]float64, error) {
+		out := make([][]float64, len(indices))
+		for i, idx := range indices {
+			v := synthTarget(sp, idx)
+			out[i] = []float64{v, v * 0.5}
+		}
+		return out, nil
+	})
+	ex, err := NewExplorer(sp, oracle, ExploreConfig{Model: fastModel(), BatchSize: 15, MaxSamples: 30, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Ensemble().Outputs(); got != 2 {
+		t.Fatalf("multi-target run produced %d outputs, want 2", got)
 	}
 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/encoding"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// BatchSelector implements the explorer's batch-selection strategies
+// over one design space, tracking which points remain drawable. It is
+// shared by the sequential core.Explorer and the pipelined
+// explore.Driver so that both consume the RNG in exactly the same
+// order — the property the driver's deterministic-parity tests rely
+// on. It is not safe for concurrent use; the driver serializes
+// selection on its orchestration goroutine.
+type BatchSelector struct {
+	sp       *space.Space
+	enc      *encoding.Encoder
+	rng      *stats.RNG
+	reserved map[int]bool // simulated, excluded, or quarantined points
+}
+
+// NewBatchSelector builds a selector drawing from sp with rng. Every
+// point starts drawable; callers Reserve the ones that must never be
+// returned (held-out evaluation sets, already-simulated points,
+// quarantined failures).
+func NewBatchSelector(sp *space.Space, enc *encoding.Encoder, rng *stats.RNG) *BatchSelector {
+	return &BatchSelector{sp: sp, enc: enc, rng: rng, reserved: make(map[int]bool)}
+}
+
+// Reserve permanently removes a design point from the draw pool.
+func (s *BatchSelector) Reserve(idx int) { s.reserved[idx] = true }
+
+// IsReserved reports whether idx has been reserved.
+func (s *BatchSelector) IsReserved(idx int) bool { return s.reserved[idx] }
+
+// Remaining returns the number of still-drawable design points.
+func (s *BatchSelector) Remaining() int { return s.sp.Size() - len(s.reserved) }
+
+// RNG exposes the selector's generator, so checkpointing can capture
+// and restore the exact selection stream.
+func (s *BatchSelector) RNG() *stats.RNG { return s.rng }
+
+// Random draws up to n distinct unreserved points uniformly — the
+// paper's §3.3 sampling. The returned points are NOT reserved; the
+// caller reserves them once their simulations are recorded (or
+// quarantined), keeping selection side-effect-free until an oracle
+// result actually exists.
+func (s *BatchSelector) Random(n int) []int {
+	if avail := s.Remaining(); n > avail {
+		n = avail
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for len(out) < n {
+		idx := s.rng.Intn(s.sp.Size())
+		if s.reserved[idx] {
+			continue
+		}
+		s.reserved[idx] = true // reserve temporarily to avoid duplicates in batch
+		out = append(out, idx)
+	}
+	for _, idx := range out {
+		delete(s.reserved, idx)
+	}
+	return out
+}
+
+// ByVariance scores a random pool of unreserved candidates with the
+// ensemble and returns the n on which its members disagree most, in
+// decreasing disagreement order (ties broken by draw order) — the
+// Chapter 7 active-learning batch. pool <= 0 selects 20×n candidates.
+// Like Random, the returned points are not reserved.
+func (s *BatchSelector) ByVariance(ens *Ensemble, n, pool int) []int {
+	if avail := s.Remaining(); n > avail {
+		n = avail
+	}
+	if n <= 0 {
+		return nil
+	}
+	if pool <= 0 {
+		pool = 20 * n
+	}
+	// Clamp to the points actually drawable: reserved covers simulated,
+	// excluded and quarantined indices, all of which the draw loop below
+	// rejects.
+	if avail := s.Remaining(); pool > avail {
+		pool = avail
+	}
+	idxs := make([]int, 0, pool)
+	seen := make(map[int]bool, pool)
+	width := s.enc.Width()
+	xs := make([]float64, pool*width)
+	for len(idxs) < pool {
+		idx := s.rng.Intn(s.sp.Size())
+		if s.reserved[idx] || seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		s.enc.EncodeIndex(idx, xs[len(idxs)*width:(len(idxs)+1)*width])
+		idxs = append(idxs, idx)
+	}
+	_, vs := ens.PredictVarianceBatch(xs, pool, nil, nil)
+	return topVariance(idxs, vs, n)
+}
+
+// scored pairs a candidate with its ensemble disagreement and its draw
+// position, the deterministic tie-breaker.
+type scored struct {
+	idx, pos int
+	v        float64
+}
+
+// weaker orders candidates for the bounded min-heap: a is weaker than b
+// when it has lower variance, or equal variance drawn later.
+func weaker(a, b scored) bool {
+	if a.v != b.v {
+		return a.v < b.v
+	}
+	return a.pos > b.pos
+}
+
+// varianceHeap is a min-heap whose root is the weakest kept candidate.
+type varianceHeap []scored
+
+func (h varianceHeap) Len() int            { return len(h) }
+func (h varianceHeap) Less(i, j int) bool  { return weaker(h[i], h[j]) }
+func (h varianceHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *varianceHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *varianceHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// topVariance returns the n candidates with the highest variance in
+// decreasing order (ties by draw position), via a bounded min-heap:
+// O(pool·log n) against the O(n·pool) selection-sort it replaced,
+// which dominated a round's cost at 10k+ candidate pools.
+func topVariance(idxs []int, vs []float64, n int) []int {
+	if n > len(idxs) {
+		n = len(idxs)
+	}
+	if n <= 0 {
+		return nil
+	}
+	h := make(varianceHeap, 0, n)
+	for i, idx := range idxs {
+		c := scored{idx: idx, pos: i, v: vs[i]}
+		if len(h) < n {
+			heap.Push(&h, c)
+		} else if weaker(h[0], c) {
+			h[0] = c
+			heap.Fix(&h, 0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return weaker(h[j], h[i]) })
+	out := make([]int, len(h))
+	for i, c := range h {
+		out[i] = c.idx
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// naiveTopVariance is the sorted reference defining topVariance's
+// contract: highest variance first, exact ties by earlier draw order.
+func naiveTopVariance(idxs []int, vs []float64, n int) []int {
+	type cand struct {
+		idx, pos int
+		v        float64
+	}
+	cands := make([]cand, len(idxs))
+	for i, idx := range idxs {
+		cands[i] = cand{idx, i, vs[i]}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].v != cands[j].v {
+			return cands[i].v > cands[j].v
+		}
+		return cands[i].pos < cands[j].pos
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+func TestTopVarianceMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		pool := 1 + rng.Intn(400)
+		n := 1 + rng.Intn(pool)
+		idxs := make([]int, pool)
+		vs := make([]float64, pool)
+		for i := range idxs {
+			idxs[i] = i
+			// Coarse quantization forces plenty of exact ties.
+			vs[i] = float64(rng.Intn(8))
+		}
+		got := topVariance(idxs, vs, n)
+		want := naiveTopVariance(idxs, vs, n)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d picks, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (pool=%d n=%d): pick %d is %d, want %d",
+					trial, pool, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopVarianceBounds(t *testing.T) {
+	if got := topVariance(nil, nil, 5); got != nil {
+		t.Fatalf("empty pool returned %v", got)
+	}
+	got := topVariance([]int{3, 9}, []float64{1, 2}, 5)
+	if len(got) != 2 || got[0] != 9 || got[1] != 3 {
+		t.Fatalf("n beyond pool returned %v, want [9 3]", got)
+	}
+}
+
+// selectionSortTopVariance is the literal O(n·pool) partial selection
+// sort that selectByVariance used before the heap, kept only so the
+// benchmark can quantify the win.
+func selectionSortTopVariance(idxs []int, vs []float64, n int) []int {
+	type cand struct {
+		idx int
+		v   float64
+	}
+	cands := make([]cand, len(idxs))
+	for i, idx := range idxs {
+		cands[i] = cand{idx, vs[i]}
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].v > cands[best].v {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// BenchmarkTopVariance measures the top-n extraction alone at the pool
+// sizes where active learning hurts: 50-point batches over 10k–100k
+// candidate pools. The heap is O(pool·log n) against the selection
+// sort's O(n·pool).
+func BenchmarkTopVariance(b *testing.B) {
+	for _, pool := range []int{10_000, 100_000} {
+		rng := stats.NewRNG(11)
+		idxs := make([]int, pool)
+		vs := make([]float64, pool)
+		for i := range idxs {
+			idxs[i] = i
+			vs[i] = rng.Float64()
+		}
+		const n = 50
+		b.Run(fmt.Sprintf("heap/pool=%d", pool), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				topVariance(idxs, vs, n)
+			}
+		})
+		b.Run(fmt.Sprintf("selection-sort/pool=%d", pool), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				selectionSortTopVariance(idxs, vs, n)
+			}
+		})
+	}
+}

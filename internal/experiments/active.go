@@ -18,12 +18,19 @@ type ActivePoint struct {
 // one samples randomly (the paper's procedure), the other queries the
 // points its current ensemble is least certain about.
 func ActiveLearning(study *studies.Study, app string, cfg CurveConfig) ([]ActivePoint, error) {
-	random, err := Curve(study, app, cfg)
+	// The two arms are independent durable studies; a shared checkpoint
+	// file would have the second arm "resume" the first one's run.
+	randomCfg := cfg
+	activeCfg := cfg
+	activeCfg.Strategy = core.SelectVariance
+	if cfg.Checkpoint != "" {
+		randomCfg.Checkpoint = cfg.Checkpoint + ".random"
+		activeCfg.Checkpoint = cfg.Checkpoint + ".active"
+	}
+	random, err := Curve(study, app, randomCfg)
 	if err != nil {
 		return nil, err
 	}
-	activeCfg := cfg
-	activeCfg.Strategy = core.SelectVariance
 	active, err := Curve(study, app, activeCfg)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -319,5 +320,41 @@ func TestNoisyCurveEstimateBelowTrue(t *testing.T) {
 	if last.EstMean >= last.TrueMean {
 		t.Fatalf("estimate %.2f%% not below true %.2f%% under SimPoint noise",
 			last.EstMean, last.TrueMean)
+	}
+}
+
+// TestCurveCheckpointResume kills a durable study half-way (by running
+// only its first size) and reruns the full sweep against the same
+// checkpoint: the resumed curve must equal the uninterrupted one point
+// for point — covered rounds are rebuilt from the checkpoint without
+// new training simulations.
+func TestCurveCheckpointResume(t *testing.T) {
+	st := studies.Processor()
+	cfg := tinyCurveConfig()
+	sizes := []int{60, 120}
+
+	want, err := CurveAtSizes(st, "gzip", cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "curve.checkpoint")
+	// "Killed" first run: only the first size completes.
+	if _, err := CurveAtSizes(st, "gzip", cfg, sizes[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := CurveAtSizes(st, "gzip", cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed curve has %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Samples != want[i].Samples ||
+			got[i].TrueMean != want[i].TrueMean || got[i].TrueSD != want[i].TrueSD ||
+			got[i].EstMean != want[i].EstMean || got[i].EstSD != want[i].EstSD {
+			t.Fatalf("resumed curve point %d = %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }

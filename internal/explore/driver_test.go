@@ -1,0 +1,384 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/space"
+)
+
+// synthSpace is a small analytic design space mirroring the core
+// package's test space: 120 points over four axes.
+func synthSpace() *space.Space {
+	return space.New("synth", []space.Param{
+		{Name: "a", Kind: space.Cardinal, Values: []float64{1, 2, 4, 8}},
+		{Name: "b", Kind: space.Cardinal, Values: []float64{1, 2, 3, 4, 5}},
+		{Name: "c", Kind: space.Continuous, Values: []float64{0.5, 1.0, 1.5}},
+		{Name: "mode", Kind: space.Nominal, Levels: []string{"x", "y"}},
+	})
+}
+
+// synthTarget is a smooth positive function of a design point, standing
+// in for simulated IPC.
+func synthTarget(sp *space.Space, idx int) float64 {
+	c := sp.Choices(idx)
+	a := sp.Value(c, 0)
+	b := sp.Value(c, 1)
+	f := sp.Value(c, 2)
+	v := 0.4 + 0.3*math.Log2(a) + 0.1*b*f
+	if sp.LevelName(c, 3) == "y" {
+		v *= 1.25
+	}
+	return v
+}
+
+// synthOracle answers synthTarget, optionally misbehaving per point
+// through fail, and counting evaluations (thread-safe: the driver fans
+// it out).
+type synthOracle struct {
+	sp   *space.Space
+	fail func(idx, attempt int) error // nil = always succeed
+
+	mu       sync.Mutex
+	calls    int
+	attempts map[int]int
+}
+
+func (o *synthOracle) Evaluate(indices []int) ([][]float64, error) {
+	out := make([][]float64, len(indices))
+	for i, idx := range indices {
+		o.mu.Lock()
+		o.calls++
+		if o.attempts == nil {
+			o.attempts = make(map[int]int)
+		}
+		o.attempts[idx]++
+		attempt := o.attempts[idx]
+		o.mu.Unlock()
+		if o.fail != nil {
+			if err := o.fail(idx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		out[i] = []float64{synthTarget(o.sp, idx)}
+	}
+	return out, nil
+}
+
+func (o *synthOracle) evaluations() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.calls
+}
+
+func fastModel() core.ModelConfig {
+	cfg := core.DefaultModelConfig()
+	cfg.Train.MaxEpochs = 120
+	cfg.Train.Patience = 25
+	return cfg
+}
+
+func exploreCfg(strategy core.Selection) core.ExploreConfig {
+	return core.ExploreConfig{
+		Model:      fastModel(),
+		BatchSize:  15,
+		MaxSamples: 30,
+		Strategy:   strategy,
+		Seed:       41,
+	}
+}
+
+// ensembleBytes serializes an ensemble so runs can be compared
+// bit-for-bit.
+func ensembleBytes(t *testing.T, ens *core.Ensemble) []byte {
+	t.Helper()
+	if ens == nil {
+		t.Fatal("no ensemble")
+	}
+	var buf bytes.Buffer
+	if err := ens.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runState captures everything two runs must agree on.
+type runState struct {
+	samples []int
+	steps   []core.Step
+	ens     []byte
+}
+
+func stripTimes(steps []core.Step) []core.Step {
+	out := append([]core.Step(nil), steps...)
+	for i := range out {
+		out[i].TrainTime = 0 // wall clock is the one legitimately varying field
+	}
+	return out
+}
+
+func explorerState(t *testing.T, cfg core.ExploreConfig) runState {
+	t.Helper()
+	sp := synthSpace()
+	ex, err := core.NewExplorer(sp, &synthOracle{sp: sp}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return runState{samples: ex.Samples(), steps: stripTimes(ex.Steps()), ens: ensembleBytes(t, ex.Ensemble())}
+}
+
+func driverState(t *testing.T, cfg core.ExploreConfig, pipe Pipeline) runState {
+	t.Helper()
+	sp := synthSpace()
+	d, err := New(sp, &synthOracle{sp: sp}, Config{ExploreConfig: cfg, Pipeline: pipe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if q := d.Quarantined(); len(q) != 0 {
+		t.Fatalf("deterministic oracle produced quarantine: %v", q)
+	}
+	return runState{samples: d.Samples(), steps: stripTimes(d.Steps()), ens: ensembleBytes(t, d.Ensemble())}
+}
+
+func requireSameRun(t *testing.T, label string, got, want runState) {
+	t.Helper()
+	if len(got.samples) != len(want.samples) {
+		t.Fatalf("%s: sampled %d points, want %d", label, len(got.samples), len(want.samples))
+	}
+	for i := range want.samples {
+		if got.samples[i] != want.samples[i] {
+			t.Fatalf("%s: sample order diverges at %d: got point %d, want %d",
+				label, i, got.samples[i], want.samples[i])
+		}
+	}
+	if len(got.steps) != len(want.steps) {
+		t.Fatalf("%s: %d rounds, want %d", label, len(got.steps), len(want.steps))
+	}
+	for i := range want.steps {
+		if got.steps[i] != want.steps[i] {
+			t.Fatalf("%s: round %d diverges: got %+v, want %+v", label, i, got.steps[i], want.steps[i])
+		}
+	}
+	if !bytes.Equal(got.ens, want.ens) {
+		t.Fatalf("%s: final ensemble weights differ", label)
+	}
+}
+
+// TestDriverMatchesSequentialExplorer is the tentpole's deterministic-
+// parity guarantee: for every pipeline setting — one worker, many
+// workers, speculation on or off — the driver reproduces the sequential
+// core.Explorer's exact sample order, step history and ensemble
+// weights. The pipeline may only change wall-clock time.
+func TestDriverMatchesSequentialExplorer(t *testing.T) {
+	cfg := exploreCfg(core.SelectRandom)
+	want := explorerState(t, cfg)
+	pipelines := map[string]Pipeline{
+		"workers=1 sequential": {Workers: -1, Sequential: true},
+		"workers=1 overlapped": {Workers: -1},
+		"workers=4 overlapped": {Workers: 4},
+		"workers=16 no-retry":  {Workers: 16, Retries: -1},
+	}
+	for label, pipe := range pipelines {
+		requireSameRun(t, label, driverState(t, cfg, pipe), want)
+	}
+}
+
+func TestDriverMatchesExplorerUnderVarianceSelection(t *testing.T) {
+	cfg := exploreCfg(core.SelectVariance)
+	cfg.CandidatePool = 60
+	want := explorerState(t, cfg)
+	for label, pipe := range map[string]Pipeline{
+		"workers=1": {Workers: -1},
+		"workers=4": {Workers: 4},
+	} {
+		requireSameRun(t, label, driverState(t, cfg, pipe), want)
+	}
+}
+
+func TestDriverStopsAtErrorTarget(t *testing.T) {
+	cfg := exploreCfg(core.SelectRandom)
+	cfg.TargetMeanErr = 1e9 // stop after the first round
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	d, err := New(sp, oracle, Config{ExploreConfig: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Samples()); got != cfg.BatchSize {
+		t.Fatalf("driver recorded %d samples despite an immediately met target", got)
+	}
+	// Speculation may have simulated (at most) one extra batch; those
+	// results are discarded, never recorded.
+	if got, max := oracle.evaluations(), 2*cfg.BatchSize; got > max {
+		t.Fatalf("oracle ran %d evaluations, speculation should bound it by %d", got, max)
+	}
+}
+
+func TestDriverQuarantinesFailingPoints(t *testing.T) {
+	sp := synthSpace()
+	// Points divisible by 7 fail on every attempt.
+	bad := func(idx int) bool { return idx%7 == 0 }
+	oracle := &synthOracle{sp: sp, fail: func(idx, attempt int) error {
+		if bad(idx) {
+			return fmt.Errorf("synthetic hard failure")
+		}
+		return nil
+	}}
+	cfg := exploreCfg(core.SelectRandom)
+	d, err := New(sp, oracle, Config{ExploreConfig: cfg, Pipeline: Pipeline{Workers: 4, Retries: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatalf("per-point failures must not abort the run: %v", err)
+	}
+	if got := len(d.Samples()); got != cfg.MaxSamples {
+		t.Fatalf("run finished with %d samples, want the full budget %d (fresh draws replace quarantined points)",
+			got, cfg.MaxSamples)
+	}
+	for _, idx := range d.Samples() {
+		if bad(idx) {
+			t.Fatalf("failing point %d entered the training pool", idx)
+		}
+	}
+	q := d.Quarantined()
+	if len(q) == 0 {
+		t.Fatal("no quarantine recorded despite failing points")
+	}
+	for _, p := range q {
+		if !bad(p.Index) {
+			t.Fatalf("healthy point %d quarantined: %s", p.Index, p.Error)
+		}
+		if p.Attempts != 3 {
+			t.Fatalf("point %d quarantined after %d attempts, want 1+2 retries", p.Index, p.Attempts)
+		}
+		if want := fmt.Sprintf("design point %d", p.Index); !strings.Contains(p.Error, want) {
+			t.Fatalf("quarantine error %q does not name %q", p.Error, want)
+		}
+	}
+}
+
+func TestDriverRetriesTransientFailures(t *testing.T) {
+	cfg := exploreCfg(core.SelectRandom)
+	want := explorerState(t, cfg)
+	sp := synthSpace()
+	// Every point fails exactly once, then succeeds: one retry must
+	// make the run indistinguishable from a healthy oracle's.
+	oracle := &synthOracle{sp: sp, fail: func(idx, attempt int) error {
+		if attempt == 1 {
+			return fmt.Errorf("transient failure")
+		}
+		return nil
+	}}
+	d, err := New(sp, oracle, Config{ExploreConfig: cfg, Pipeline: Pipeline{Workers: 4, Retries: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if q := d.Quarantined(); len(q) != 0 {
+		t.Fatalf("transient failures quarantined despite retry budget: %v", q)
+	}
+	got := runState{samples: d.Samples(), steps: stripTimes(d.Steps()), ens: ensembleBytes(t, d.Ensemble())}
+	requireSameRun(t, "retried run", got, want)
+}
+
+func TestDriverMalformedTargetsQuarantineNotAbort(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	// Oracle wrapper returning NaN for points divisible by 11.
+	wrapped := core.OracleFunc(func(indices []int) ([][]float64, error) {
+		out, err := oracle.Evaluate(indices)
+		if err != nil {
+			return nil, err
+		}
+		for i, idx := range indices {
+			if idx%11 == 0 {
+				out[i] = []float64{math.NaN()}
+			}
+		}
+		return out, nil
+	})
+	cfg := exploreCfg(core.SelectRandom)
+	d, err := New(sp, wrapped, Config{ExploreConfig: cfg, Pipeline: Pipeline{Retries: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Quarantined() {
+		if p.Index%11 != 0 {
+			t.Fatalf("healthy point %d quarantined: %s", p.Index, p.Error)
+		}
+		if want := fmt.Sprintf("design point %d", p.Index); !strings.Contains(p.Error, want) {
+			t.Fatalf("quarantine error %q does not name %q", p.Error, want)
+		}
+	}
+	for _, idx := range d.Samples() {
+		if idx%11 == 0 {
+			t.Fatalf("NaN-producing point %d entered the training pool", idx)
+		}
+	}
+}
+
+func TestDriverCancellation(t *testing.T) {
+	sp := synthSpace()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from inside the oracle, mid-way through the second round.
+	oracle := &synthOracle{sp: sp}
+	counting := core.OracleFunc(func(indices []int) ([][]float64, error) {
+		if oracle.evaluations() >= 20 {
+			cancel()
+		}
+		return oracle.Evaluate(indices)
+	})
+	cfg := exploreCfg(core.SelectRandom)
+	d, err := New(sp, counting, Config{ExploreConfig: cfg, Pipeline: Pipeline{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(ctx); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	// The interrupted round is discarded whole: state sits at a round
+	// boundary, and cancellation never masquerades as quarantine.
+	if got := len(d.Samples()); got != 0 && got != cfg.BatchSize {
+		t.Fatalf("cancelled run holds %d samples, not a round boundary", got)
+	}
+	if q := d.Quarantined(); len(q) != 0 {
+		t.Fatalf("cancellation produced quarantine entries: %v", q)
+	}
+}
+
+func TestDriverValidatesConfig(t *testing.T) {
+	sp := synthSpace()
+	oracle := &synthOracle{sp: sp}
+	if _, err := New(sp, oracle, Config{ExploreConfig: core.ExploreConfig{Model: fastModel(), BatchSize: 0, MaxSamples: 10}}); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := New(sp, nil, Config{ExploreConfig: exploreCfg(core.SelectRandom)}); err == nil {
+		t.Fatal("nil oracle accepted")
+	}
+	bad := exploreCfg(core.SelectRandom)
+	bad.Exclude = []int{sp.Size()}
+	if _, err := New(sp, oracle, Config{ExploreConfig: bad}); err == nil {
+		t.Fatal("out-of-range exclusion accepted")
+	}
+}

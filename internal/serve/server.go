@@ -10,6 +10,20 @@
 //	POST /v1/variance       many design points → ensemble mean + disagreement
 //	GET  /v1/sensitivity    model-powered per-axis sensitivity ranking
 //
+// With an exploration backend attached (see JobStore), the server also
+// runs the paper's whole §3.3 procedure as asynchronous jobs —
+// exploration as a service, powered by the pipelined engine in
+// internal/explore:
+//
+//	POST /v1/explore             submit an exploration job (202 + job id)
+//	GET  /v1/jobs                all jobs with live round progress
+//	GET  /v1/jobs/{id}           one job's status, rounds, quarantine
+//	POST /v1/jobs/{id}/cancel    cancel a queued or running job
+//
+// Completed jobs register their trained bundle in the model registry
+// under the requested name, immediately queryable by every endpoint
+// above.
+//
 // Design points are addressed either by flat index ("point"/"points")
 // or by explicit choice vectors ("choices"); both are validated against
 // the model's design space before encoding. Batch endpoints call the
@@ -25,6 +39,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -37,15 +52,23 @@ const maxBatchRows = 65536
 // choice vectors stays well under this.
 const maxBodyBytes = 16 << 20
 
-// Server is the HTTP front end over a model registry.
+// Server is the HTTP front end over a model registry and, optionally,
+// an exploration job store.
 type Server struct {
-	reg *Registry
-	mux *http.ServeMux
+	reg  *Registry
+	jobs *JobStore
+	mux  *http.ServeMux
 }
 
-// New builds a server over reg.
-func New(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+// New builds a server over reg, serving queries only.
+func New(reg *Registry) *Server { return NewWithJobs(reg, nil) }
+
+// NewWithJobs builds a server that additionally runs exploration as a
+// service: POST /v1/explore submits jobs against jobs' backend, and
+// finished models become queryable through the same registry. A nil
+// jobs store turns those endpoints into 503s.
+func NewWithJobs(reg *Registry, jobs *JobStore) *Server {
+	s := &Server{reg: reg, jobs: jobs, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
@@ -53,6 +76,10 @@ func New(reg *Registry) *Server {
 	s.mux.HandleFunc("POST /v1/variance", s.handleVariance)
 	s.mux.HandleFunc("GET /v1/sensitivity", s.handleSensitivity)
 	s.mux.HandleFunc("POST /v1/sensitivity", s.handleSensitivity)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	return s
 }
 
@@ -263,6 +290,76 @@ func (s *Server) handleVariance(w http.ResponseWriter, r *http.Request) {
 		"means":     mean,
 		"variances": variance,
 	})
+}
+
+// requireJobs resolves the job store or answers 503.
+func (s *Server) requireJobs(w http.ResponseWriter) (*JobStore, bool) {
+	if s.jobs == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			"exploration is not configured on this server (start it with an exploration backend)")
+		return nil, false
+	}
+	return s.jobs, true
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	jobs, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	var req ExploreRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, err := jobs.Submit(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue is full") {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs.List()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	jobs, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	info, err := jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	jobs, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	info, err := jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		status := http.StatusConflict
+		if strings.Contains(err.Error(), "unknown job") {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // sensitivityRequest parameterizes the model-powered axis ranking.

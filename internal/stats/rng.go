@@ -8,7 +8,10 @@
 // the Go version or platform.
 package stats
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // RNG is a xoshiro256** pseudo-random number generator seeded via
 // SplitMix64. It is deterministic across platforms and Go releases,
@@ -46,6 +49,22 @@ func NewRNG(seed uint64) *RNG {
 // SplitMix64 rather than sharing state.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// State returns the generator's full internal state, so a paused
+// computation (an exploration checkpoint, say) can later resume the
+// exact same random sequence via Restore.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator's state with one previously returned
+// by State. The all-zero state is degenerate (the sequence would be
+// stuck at zero forever) and is rejected.
+func (r *RNG) Restore(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("stats: cannot restore the degenerate all-zero RNG state")
+	}
+	r.s = s
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
