@@ -33,10 +33,10 @@ import (
 	"repro/internal/bundle"
 	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/encoding"
 	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/studies"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -68,7 +68,6 @@ func main() {
 	var (
 		study *studies.Study
 		ens   *core.Ensemble
-		enc   *encoding.Encoder
 		err   error
 	)
 	appName := *app
@@ -90,7 +89,7 @@ func main() {
 		b, resolvedApp, err := cliutil.ResolveBundle("dsexplore", *loadPath, study.Space, "app", appName, *workers)
 		fatal(err)
 		appName = resolvedApp
-		ens, enc = b.Ensemble, b.Encoder
+		ens = b.Ensemble
 		est := ens.Estimate()
 		fmt.Printf("%s study / %s: loaded %s (%d-sim model, estimated %.2f%% ± %.2f%%)\n",
 			study.Name, appName, *loadPath, b.Meta.Samples, est.MeanErr, est.SDErr)
@@ -188,8 +187,6 @@ func main() {
 				fmt.Printf("  point %d (%d attempts): %s\n", p.Index, p.Attempts, p.Error)
 			}
 		}
-		enc = drv.Encoder()
-
 		if *savePath != "" {
 			meta := pipe.Meta
 			if meta.Study == "" { // resumed runs carry meta in the driver's checkpoint
@@ -205,29 +202,20 @@ func main() {
 
 	oracle := experiments.NewSimOracle(study, appName, insts, experiments.IPCOnly)
 
-	// Predicted optimum over the whole space, verified once. The sweep
-	// scores the full design space in batched chunks.
-	width := enc.Width()
-	const sweepChunk = 4096
-	xs := make([]float64, sweepChunk*width)
-	preds := make([]float64, sweepChunk)
-	bestIdx, bestIPC := 0, 0.0
-	for start := 0; start < study.Space.Size(); start += sweepChunk {
-		rows := min(sweepChunk, study.Space.Size()-start)
-		for i := 0; i < rows; i++ {
-			enc.EncodeIndex(start+i, xs[i*width:(i+1)*width])
-		}
-		ens.PredictBatch(xs[:rows*width], rows, preds[:rows])
-		for i := 0; i < rows; i++ {
-			if preds[i] > bestIPC {
-				bestIdx, bestIPC = start+i, preds[i]
-			}
-		}
-	}
-	truth, err := oracle.IPCs([]int{bestIdx})
+	// Predicted optimum over the whole space, verified once: a top-1
+	// streaming sweep through the shared engine (internal/sweep) — the
+	// same chunked enumeration and reduction cmd/sweep and POST
+	// /v1/sweep run, with the batched prediction kernels fanning out
+	// under the ensemble's own worker bound.
+	set, err := core.NewMetricSet([]core.Metric{{Name: "IPC", Ens: ens}})
+	fatal(err)
+	res, err := sweep.Run(context.Background(), study.Space, set, sweep.Config{TopK: 1, Workers: 1})
+	fatal(err)
+	best := res.TopK[0][0]
+	truth, err := oracle.IPCs([]int{best.Index})
 	fatal(err)
 	fmt.Printf("\npredicted optimum (IPC %.4f, simulator %.4f):\n  %s\n",
-		bestIPC, truth[0], study.Space.Describe(bestIdx))
+		best.Values[0], truth[0], study.Space.Describe(best.Index))
 
 	// Model-powered sensitivity ranking: the per-axis sweep that
 	// motivates the paper (§2), at the cost of network evaluations

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/pb"
 	"repro/internal/stats"
 	"repro/internal/studies"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 )
 
@@ -323,6 +325,7 @@ func (r *runner) model(save, load string) {
 		fatal(err)
 		m, sd, used := b.Ensemble.TrueError(b.Encoder, evalIdx, truth)
 		fmt.Printf("measured against %d fresh simulations: true %.2f%% ± %.2f%%\n", used, m, sd)
+		r.sweepReport(st, b.Ensemble)
 		return
 	}
 
@@ -351,6 +354,23 @@ func (r *runner) model(save, load string) {
 	fatal(err)
 	fatal(b.WriteFile(save))
 	fmt.Printf("saved model bundle to %s (serve it: go run ./cmd/serve %s)\n", save, save)
+	r.sweepReport(st, ens)
+}
+
+// sweepReport ranks the entire design space through the shared
+// streaming engine (internal/sweep) — the full-space evaluation the
+// model was trained to afford, identical to what cmd/sweep and
+// POST /v1/sweep answer from the same bundle.
+func (r *runner) sweepReport(st *studies.Study, ens *core.Ensemble) {
+	set, err := core.NewMetricSet([]core.Metric{{Name: "IPC", Ens: ens}})
+	fatal(err)
+	res, err := sweep.Run(context.Background(), st.Space, set, sweep.Config{TopK: 5, Workers: 1})
+	fatal(err)
+	fmt.Printf("full-space sweep: %d points in %v (%.0f points/s); predicted top %d by IPC:\n",
+		res.Points, res.Elapsed.Round(time.Millisecond), res.PointsPerSec, len(res.TopK[0]))
+	for rank, p := range res.TopK[0] {
+		fmt.Printf("  %d. IPC %.4f  %s\n", rank+1, p.Values[0], st.Space.Describe(p.Index))
+	}
 }
 
 func (r *runner) active() {

@@ -21,6 +21,13 @@
 //	curl -s localhost:8080/v1/jobs/job-1                # live round progress
 //	curl -s localhost:8080/v1/predict \
 //	     -d '{"model":"mcf","point":1234}'              # once done
+//
+// The same job pool runs full-space sweeps (internal/sweep) over
+// registered models — top-k per metric plus the Pareto frontier,
+// streamed over the whole design space:
+//
+//	curl -s localhost:8080/v1/sweep -d '{"model":"mcf","topk":10}'
+//	curl -s localhost:8080/v1/jobs/job-2                # progress, then "result"
 package main
 
 import (

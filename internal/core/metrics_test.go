@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// quickModel trims training further than fastModel: metric-adapter
+// tests only need a functioning ensemble, not an accurate one.
+func quickModel(seed uint64) ModelConfig {
+	cfg := fastModel()
+	cfg.Train.MaxEpochs = 120
+	cfg.Train.Patience = 20
+	cfg.Seed = seed
+	return cfg
+}
+
+// synthEnergy is a second smooth metric over the synthetic space,
+// standing in for predicted energy: larger configurations cost more.
+func synthEnergy(sp *space.Space, idx int) float64 {
+	c := sp.Choices(idx)
+	return 0.2 + 0.05*sp.Value(c, 0) + 0.1*sp.Value(c, 1)*sp.Value(c, 2)
+}
+
+// trainMultiTask builds a two-output ensemble (IPC-like + energy-like)
+// over the synthetic space.
+func trainMultiTask(t *testing.T, seed uint64) *Ensemble {
+	t.Helper()
+	sp := synthSpace()
+	rng := stats.NewRNG(seed)
+	train := sp.Sample(rng, 60)
+	enc := newTestEncoder(sp)
+	x := make([][]float64, len(train))
+	y := make([][]float64, len(train))
+	for i, idx := range train {
+		x[i] = enc.EncodeIndex(idx, nil)
+		y[i] = []float64{synthTarget(sp, idx), synthEnergy(sp, idx)}
+	}
+	ens, err := TrainEnsemble(x, y, quickModel(seed^0x51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ens
+}
+
+// TestPredictOutputBatchMatchesPredictAll pins the generalized batch
+// kernel to the per-point multi-output path on every column.
+func TestPredictOutputBatchMatchesPredictAll(t *testing.T) {
+	ens := trainMultiTask(t, 11)
+	sp := synthSpace()
+	enc := newTestEncoder(sp)
+	var probes [][]float64
+	for idx := 0; idx < sp.Size(); idx += 5 {
+		probes = append(probes, enc.EncodeIndex(idx, nil))
+	}
+	xs, rows := flatten(probes)
+	for o := 0; o < ens.Outputs(); o++ {
+		got := ens.PredictOutputBatch(o, xs, rows, nil)
+		for i, p := range probes {
+			want := ens.PredictAll(p)[o]
+			if math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("output %d point %d: batch %v vs per-point %v", o, i, got[i], want)
+			}
+		}
+	}
+	// Column 0 must be the identical computation to PredictBatch.
+	a := ens.PredictBatch(xs, rows, nil)
+	b := ens.PredictOutputBatch(0, xs, rows, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d: PredictOutputBatch(0) %v != PredictBatch %v", i, b[i], a[i])
+		}
+	}
+}
+
+// TestPredictOutputVarianceBatchColumns checks the generalized
+// variance kernel: column 0 equals PredictVarianceBatch bit for bit,
+// and every column's variance is non-negative and paired with the
+// column's own mean.
+func TestPredictOutputVarianceBatchColumns(t *testing.T) {
+	ens := trainMultiTask(t, 12)
+	sp := synthSpace()
+	enc := newTestEncoder(sp)
+	var probes [][]float64
+	for idx := 0; idx < sp.Size(); idx += 7 {
+		probes = append(probes, enc.EncodeIndex(idx, nil))
+	}
+	xs, rows := flatten(probes)
+	m0, v0 := ens.PredictVarianceBatch(xs, rows, nil, nil)
+	for o := 0; o < ens.Outputs(); o++ {
+		mean, variance := ens.PredictOutputVarianceBatch(o, xs, rows, nil, nil)
+		wantMean := ens.PredictOutputBatch(o, xs, rows, nil)
+		for i := range mean {
+			if mean[i] != wantMean[i] {
+				t.Fatalf("output %d point %d: variance-path mean %v != batch mean %v", o, i, mean[i], wantMean[i])
+			}
+			if variance[i] < 0 {
+				t.Fatalf("output %d point %d: negative variance %v", o, i, variance[i])
+			}
+			if o == 0 && (mean[i] != m0[i] || variance[i] != v0[i]) {
+				t.Fatalf("point %d: output-0 path diverged from PredictVarianceBatch", i)
+			}
+		}
+	}
+}
+
+// TestPredictOutputBatchRejectsBadColumn panics on out-of-range output
+// columns rather than silently reading a wrong scaler.
+func TestPredictOutputBatchRejectsBadColumn(t *testing.T) {
+	ens := trainMultiTask(t, 13)
+	for _, bad := range []int{-1, ens.Outputs()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("output %d accepted", bad)
+				}
+			}()
+			ens.PredictOutputBatch(bad, nil, 0, nil)
+		}()
+	}
+}
+
+// TestMetricSetEvalMatchesDirectCalls pins the adapter's columns to
+// the underlying batch kernels, bit for bit, across two models and a
+// shared-sweep (mean + variance of one output) group.
+func TestMetricSetEvalMatchesDirectCalls(t *testing.T) {
+	perf := trainMultiTask(t, 21)
+	energy := trainMultiTask(t, 22)
+	set, err := NewMetricSet([]Metric{
+		{Name: "perf", Ens: perf},
+		{Name: "conf", Ens: perf, Kind: MetricVariance, Minimize: true},
+		{Name: "energy", Ens: energy, Output: 1, Minimize: true},
+		{Name: "perf2", Ens: perf}, // duplicate column: shares perf's sweep
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := synthSpace()
+	enc := newTestEncoder(sp)
+	rows := 50
+	xs := enc.EncodeRange(0, rows, nil)
+	cols := make([][]float64, set.Len())
+	for m := range cols {
+		cols[m] = make([]float64, rows)
+	}
+	set.Eval(xs, rows, cols)
+
+	wantPerf, wantConf := perf.PredictVarianceBatch(xs, rows, nil, nil)
+	wantEnergy := energy.PredictOutputBatch(1, xs, rows, nil)
+	for r := 0; r < rows; r++ {
+		if cols[0][r] != wantPerf[r] || cols[3][r] != wantPerf[r] {
+			t.Fatalf("row %d: perf columns %v/%v != %v", r, cols[0][r], cols[3][r], wantPerf[r])
+		}
+		if cols[1][r] != wantConf[r] {
+			t.Fatalf("row %d: conf column %v != %v", r, cols[1][r], wantConf[r])
+		}
+		if cols[2][r] != wantEnergy[r] {
+			t.Fatalf("row %d: energy column %v != %v", r, cols[2][r], wantEnergy[r])
+		}
+	}
+
+	if got := set.Names(); len(got) != 4 || got[0] != "perf" || got[2] != "energy" {
+		t.Fatalf("names = %v", got)
+	}
+	if dir := set.Minimize(); dir[0] || !dir[1] || !dir[2] || dir[3] {
+		t.Fatalf("directions = %v", set.Minimize())
+	}
+}
+
+// TestMetricSetValidation rejects malformed metric lists with errors
+// that name the offender.
+func TestMetricSetValidation(t *testing.T) {
+	ens := trainMultiTask(t, 31)
+	cases := []struct {
+		name    string
+		metrics []Metric
+		want    string
+	}{
+		{"empty", nil, "at least one"},
+		{"no name", []Metric{{Ens: ens}}, "no name"},
+		{"dup name", []Metric{{Name: "a", Ens: ens}, {Name: "a", Ens: ens}}, "duplicate"},
+		{"nil ensemble", []Metric{{Name: "a"}}, "no ensemble"},
+		{"bad output", []Metric{{Name: "a", Ens: ens, Output: 9}}, "output 9"},
+		{"bad kind", []Metric{{Name: "a", Ens: ens, Kind: MetricKind(7)}}, "unknown kind"},
+	}
+	for _, c := range cases {
+		if _, err := NewMetricSet(c.metrics); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}

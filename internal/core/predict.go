@@ -48,6 +48,16 @@ func (e *Ensemble) Inputs() int { return e.nets[0].Config().Inputs }
 // Each output is bit-identical to Predict on the same point: rows are
 // independent, and the per-row member accumulation order is unchanged.
 func (e *Ensemble) PredictBatch(xs []float64, rows int, out []float64) []float64 {
+	return e.PredictOutputBatch(0, xs, rows, out)
+}
+
+// PredictOutputBatch is PredictBatch for an arbitrary target metric:
+// it scores the batch on ensemble output column output (0 is the
+// primary target; multi-task ensembles carry auxiliary metrics in the
+// further columns). For output 0 it is the identical computation to
+// PredictBatch — same kernels, same accumulation order, same bits.
+func (e *Ensemble) PredictOutputBatch(output int, xs []float64, rows int, out []float64) []float64 {
+	e.checkOutput(output)
 	if rows < 0 || len(xs) != rows*e.Inputs() {
 		panic(fmt.Sprintf("core: batch of %d values is not %d rows × %d inputs", len(xs), rows, e.Inputs()))
 	}
@@ -58,9 +68,16 @@ func (e *Ensemble) PredictBatch(xs []float64, rows int, out []float64) []float64
 		panic(fmt.Sprintf("core: output buffer has %d slots for %d rows", len(out), rows))
 	}
 	e.forEachChunk(rows, func(start, end int, s *ann.Scratch, _ []float64) {
-		e.predictRange(xs, start, end, out[start:end], s)
+		e.predictRange(output, xs, start, end, out[start:end], s)
 	})
 	return out
+}
+
+// checkOutput panics when output does not name a trained target metric.
+func (e *Ensemble) checkOutput(output int) {
+	if output < 0 || output >= e.outputs {
+		panic(fmt.Sprintf("core: output %d out of range [0,%d)", output, e.outputs))
+	}
 }
 
 // PredictVarianceBatch is the batched PredictVariance: for each of rows
@@ -69,6 +86,15 @@ func (e *Ensemble) PredictBatch(xs []float64, rows int, out []float64) []float64
 // Chapter 7). mean and variance are filled when non-nil and allocated
 // otherwise; both are returned.
 func (e *Ensemble) PredictVarianceBatch(xs []float64, rows int, mean, variance []float64) ([]float64, []float64) {
+	return e.PredictOutputVarianceBatch(0, xs, rows, mean, variance)
+}
+
+// PredictOutputVarianceBatch is PredictVarianceBatch for an arbitrary
+// target metric: mean and member disagreement on ensemble output
+// column output. For output 0 it is the identical computation to
+// PredictVarianceBatch, bit for bit.
+func (e *Ensemble) PredictOutputVarianceBatch(output int, xs []float64, rows int, mean, variance []float64) ([]float64, []float64) {
+	e.checkOutput(output)
 	if rows < 0 || len(xs) != rows*e.Inputs() {
 		panic(fmt.Sprintf("core: batch of %d values is not %d rows × %d inputs", len(xs), rows, e.Inputs()))
 	}
@@ -88,7 +114,7 @@ func (e *Ensemble) PredictVarianceBatch(xs []float64, rows int, mean, variance [
 		for m, n := range e.nets {
 			outM := n.ForwardBatch(xs[start*e.Inputs():end*e.Inputs()], cnt, s)
 			for r := 0; r < cnt; r++ {
-				preds[m*cnt+r] = e.untransform(e.scalers[0].Unscale(outM[r*e.outputs]))
+				preds[m*cnt+r] = e.untransform(e.scalers[output].Unscale(outM[r*e.outputs+output]))
 			}
 		}
 		// Same accumulation order as the per-point PredictVariance:
@@ -113,15 +139,24 @@ func (e *Ensemble) PredictVarianceBatch(xs []float64, rows int, mean, variance [
 }
 
 // PredictIndices encodes the design-point indices through enc and
-// scores them all in one batched prediction — the common "evaluate the
-// model on this list of points" idiom.
+// scores them with the batched kernels — the common "evaluate the
+// model on this list of points" idiom. Encoding and prediction stream
+// in fixed-size blocks, so a full-space evaluation set costs one
+// block's buffer, not O(points) memory; rows are independent, so the
+// blocking leaves every prediction bit-identical.
 func (e *Ensemble) PredictIndices(enc *encoding.Encoder, idxs []int) []float64 {
 	width := enc.Width()
-	xs := make([]float64, len(idxs)*width)
-	for i, idx := range idxs {
-		enc.EncodeIndex(idx, xs[i*width:(i+1)*width])
+	out := make([]float64, len(idxs))
+	const block = 4096
+	xs := make([]float64, min(block, len(idxs))*width)
+	for lo := 0; lo < len(idxs); lo += block {
+		hi := min(lo+block, len(idxs))
+		for i, idx := range idxs[lo:hi] {
+			enc.EncodeIndex(idx, xs[i*width:(i+1)*width])
+		}
+		e.PredictBatch(xs[:(hi-lo)*width], hi-lo, out[lo:hi])
 	}
-	return e.PredictBatch(xs, len(idxs), nil)
+	return out
 }
 
 // TrueError measures the ensemble's mean and standard deviation of
@@ -150,8 +185,9 @@ func (e *Ensemble) TrueError(enc *encoding.Encoder, idxs []int, truth []float64)
 	return mean, sd, len(errs)
 }
 
-// predictRange scores rows [start, end) into out, reusing s.
-func (e *Ensemble) predictRange(xs []float64, start, end int, out []float64, s *ann.Scratch) {
+// predictRange scores rows [start, end) on one output column into out,
+// reusing s.
+func (e *Ensemble) predictRange(output int, xs []float64, start, end int, out []float64, s *ann.Scratch) {
 	cnt := end - start
 	for i := range out {
 		out[i] = 0
@@ -159,7 +195,7 @@ func (e *Ensemble) predictRange(xs []float64, start, end int, out []float64, s *
 	for _, n := range e.nets {
 		outM := n.ForwardBatch(xs[start*e.Inputs():end*e.Inputs()], cnt, s)
 		for r := 0; r < cnt; r++ {
-			out[r] += e.untransform(e.scalers[0].Unscale(outM[r*e.outputs]))
+			out[r] += e.untransform(e.scalers[output].Unscale(outM[r*e.outputs+output]))
 		}
 	}
 	members := float64(len(e.nets))

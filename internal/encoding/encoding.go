@@ -138,6 +138,27 @@ func (e *Encoder) EncodeIndex(index int, dst []float64) []float64 {
 	return e.Encode(e.sp.Choices(index), dst)
 }
 
+// EncodeRange encodes the design points with flat indices [start,
+// start+rows) into dst as a flat row-major matrix of rows×Width()
+// values, and returns dst (allocated when nil). It rides the space's
+// chunked enumeration, so encoding a sweep chunk costs no per-point
+// choice-vector allocations. Each row is bit-identical to EncodeIndex
+// on the same index.
+func (e *Encoder) EncodeRange(start, rows int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, rows*e.width)
+	}
+	if len(dst) != rows*e.width {
+		panic(fmt.Sprintf("encoding: destination has %d slots for %d rows × %d inputs", len(dst), rows, e.width))
+	}
+	r := 0
+	for _, choices := range e.sp.ChunkAt(start, rows) {
+		e.Encode(choices, dst[r*e.width:(r+1)*e.width])
+		r++
+	}
+	return dst
+}
+
 // Scaler minimax-normalizes a target metric to [0,1] and back (§3.3:
 // "target values ... are encoded in the same way as inputs" and
 // predictions are scaled back to the actual range before error

@@ -202,3 +202,39 @@ func TestSpecRoundTripAndMatch(t *testing.T) {
 		t.Fatal("encoder accepted a shifted input offset")
 	}
 }
+
+// TestEncodeRangeMatchesEncodeIndex pins the chunked sweep encoding to
+// the per-index path, bit for bit, over every alignment.
+func TestEncodeRangeMatchesEncodeIndex(t *testing.T) {
+	sp := demoSpace()
+	e := NewEncoder(sp)
+	for _, chunk := range []int{1, 3, 5, sp.Size()} {
+		for start := 0; start < sp.Size(); start += chunk {
+			rows := chunk
+			if start+rows > sp.Size() {
+				rows = sp.Size() - start
+			}
+			got := e.EncodeRange(start, rows, nil)
+			for r := 0; r < rows; r++ {
+				want := e.EncodeIndex(start+r, nil)
+				for j := range want {
+					if got[r*e.Width()+j] != want[j] {
+						t.Fatalf("chunk %d@%d row %d input %d: %v != %v",
+							chunk, start, r, j, got[r*e.Width()+j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeRangeBadDestination rejects mis-sized buffers.
+func TestEncodeRangeBadDestination(t *testing.T) {
+	e := NewEncoder(demoSpace())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short destination accepted")
+		}
+	}()
+	e.EncodeRange(0, 2, make([]float64, 1))
+}

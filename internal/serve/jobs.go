@@ -48,7 +48,7 @@ type ExploreRequest struct {
 // for the registered bundle.
 type Backend func(req ExploreRequest) (*space.Space, core.Oracle, bundle.Meta, error)
 
-// JobStatus is the lifecycle of an exploration job.
+// JobStatus is the lifecycle of an asynchronous job.
 type JobStatus string
 
 // Job lifecycle states.
@@ -60,10 +60,27 @@ const (
 	JobCancelled JobStatus = "cancelled"
 )
 
-// Job is one exploration tracked by the store.
+// Job kinds the store runs.
+const (
+	// JobKindExplore trains a model by driving the exploration pipeline
+	// and registers the finished bundle.
+	JobKindExplore = "explore"
+	// JobKindSweep ranks an entire design space through registered
+	// models with the streaming sweep engine.
+	JobKindSweep = "sweep"
+)
+
+// Job is one asynchronous unit of work tracked by the store.
 type Job struct {
-	ID  string
-	Req ExploreRequest
+	ID   string
+	Kind string
+	Req  any // the submitted request (ExploreRequest, SweepRequest)
+
+	// exec runs the work; its non-nil result is surfaced in JobInfo
+	// once the job is done. reserved is the registry name released if
+	// the job does not complete ("" when the job registers nothing).
+	exec     func(ctx context.Context, job *Job) (any, error)
+	reserved string
 
 	mu          sync.Mutex
 	status      JobStatus
@@ -72,6 +89,9 @@ type Job struct {
 	finished    time.Time
 	steps       []core.Step
 	quarantined int
+	swept       int
+	sweepTotal  int
+	result      any
 	errMsg      string
 	cancel      context.CancelFunc
 	cancelled   bool
@@ -79,31 +99,47 @@ type Job struct {
 
 // JobInfo is a consistent snapshot of a job, and its JSON view.
 type JobInfo struct {
-	ID          string         `json:"id"`
-	Req         ExploreRequest `json:"request"`
-	Status      JobStatus      `json:"status"`
-	Created     time.Time      `json:"created"`
-	Started     *time.Time     `json:"started,omitempty"`
-	Finished    *time.Time     `json:"finished,omitempty"`
-	Samples     int            `json:"samples"`
-	Rounds      []core.Step    `json:"rounds,omitempty"`
-	Quarantined int            `json:"quarantined,omitempty"`
-	Error       string         `json:"error,omitempty"`
-	// Model is the registry name queryable once Status == done.
+	ID          string      `json:"id"`
+	Kind        string      `json:"kind"`
+	Req         any         `json:"request"`
+	Status      JobStatus   `json:"status"`
+	Created     time.Time   `json:"created"`
+	Started     *time.Time  `json:"started,omitempty"`
+	Finished    *time.Time  `json:"finished,omitempty"`
+	Samples     int         `json:"samples"`
+	Rounds      []core.Step `json:"rounds,omitempty"`
+	Quarantined int         `json:"quarantined,omitempty"`
+	// Swept/SweepTotal are a sweep job's live progress in design
+	// points.
+	Swept      int    `json:"swept,omitempty"`
+	SweepTotal int    `json:"sweepTotal,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Model is the registry name queryable once an exploration is done.
 	Model string `json:"model,omitempty"`
+	// Result is the job's product once Status == done — a sweep's
+	// top-k/frontier document. Explorations surface theirs through the
+	// model registry instead. Only single-job lookups carry it; the
+	// job listing omits it, so polling GET /v1/jobs does not
+	// re-serialize every finished sweep's tables.
+	Result any `json:"result,omitempty"`
 }
 
-// Info snapshots the job under its lock.
-func (j *Job) Info() JobInfo {
+// Info snapshots the job under its lock, result document included.
+func (j *Job) Info() JobInfo { return j.snapshot(true) }
+
+func (j *Job) snapshot(withResult bool) JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := JobInfo{
 		ID:          j.ID,
+		Kind:        j.Kind,
 		Req:         j.Req,
 		Status:      j.status,
 		Created:     j.created,
 		Rounds:      append([]core.Step(nil), j.steps...),
 		Quarantined: j.quarantined,
+		Swept:       j.swept,
+		SweepTotal:  j.sweepTotal,
 		Error:       j.errMsg,
 	}
 	if !j.started.IsZero() {
@@ -118,7 +154,12 @@ func (j *Job) Info() JobInfo {
 		info.Samples = j.steps[n-1].Samples
 	}
 	if j.status == JobDone {
-		info.Model = j.Req.Name
+		if j.Kind == JobKindExplore {
+			info.Model = j.reserved
+		}
+		if withResult {
+			info.Result = j.result
+		}
 	}
 	return info
 }
@@ -176,9 +217,9 @@ func NewJobStore(reg *Registry, backend Backend, concurrency, queueCap int, copt
 	return s
 }
 
-// Submit validates, enqueues and returns a new job. The model name is
-// reserved immediately, so two concurrent submissions cannot race for
-// one registry slot.
+// Submit validates, enqueues and returns a new exploration job. The
+// model name is reserved immediately, so two concurrent submissions
+// cannot race for one registry slot.
 func (s *JobStore) Submit(req ExploreRequest) (JobInfo, error) {
 	if req.Name == "" {
 		return JobInfo{}, fmt.Errorf("serve: job needs a model name to register under")
@@ -189,18 +230,29 @@ func (s *JobStore) Submit(req ExploreRequest) (JobInfo, error) {
 	if req.Batch < 0 || req.Batch > req.Budget {
 		return JobInfo{}, fmt.Errorf("serve: batch %d outside (0, budget=%d]", req.Batch, req.Budget)
 	}
+	return s.enqueue(JobKindExplore, req, req.Name, func(ctx context.Context, job *Job) (any, error) {
+		return nil, s.runExplore(ctx, job, req)
+	})
+}
+
+// enqueue is the kind-agnostic admission path: it checks store
+// shutdown and queue capacity, reserves the registry name when the job
+// will register one, and hands the job to the worker pool.
+func (s *JobStore) enqueue(kind string, req any, reserve string, exec func(ctx context.Context, job *Job) (any, error)) (JobInfo, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return JobInfo{}, fmt.Errorf("serve: job store is shut down")
 	}
-	if s.names[req.Name] {
-		s.mu.Unlock()
-		return JobInfo{}, fmt.Errorf("serve: model name %q is taken by another job", req.Name)
-	}
-	if _, err := s.reg.Get(req.Name); err == nil {
-		s.mu.Unlock()
-		return JobInfo{}, fmt.Errorf("serve: model %q already registered", req.Name)
+	if reserve != "" {
+		if s.names[reserve] {
+			s.mu.Unlock()
+			return JobInfo{}, fmt.Errorf("serve: model name %q is taken by another job", reserve)
+		}
+		if _, err := s.reg.Get(reserve); err == nil {
+			s.mu.Unlock()
+			return JobInfo{}, fmt.Errorf("serve: model %q already registered", reserve)
+		}
 	}
 	if len(s.pending) >= s.queueCap {
 		s.mu.Unlock()
@@ -208,13 +260,18 @@ func (s *JobStore) Submit(req ExploreRequest) (JobInfo, error) {
 	}
 	s.nextID++
 	job := &Job{
-		ID:      fmt.Sprintf("job-%d", s.nextID),
-		Req:     req,
-		status:  JobQueued,
-		created: time.Now(),
+		ID:       fmt.Sprintf("job-%d", s.nextID),
+		Kind:     kind,
+		Req:      req,
+		exec:     exec,
+		reserved: reserve,
+		status:   JobQueued,
+		created:  time.Now(),
 	}
 	s.pending = append(s.pending, job)
-	s.names[req.Name] = true
+	if reserve != "" {
+		s.names[reserve] = true
+	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.notEmpty.Signal()
@@ -233,7 +290,8 @@ func (s *JobStore) Get(id string) (JobInfo, error) {
 	return job.Info(), nil
 }
 
-// List snapshots every job in submission order.
+// List snapshots every job in submission order. Listings omit result
+// documents — fetch a single job for those.
 func (s *JobStore) List() []JobInfo {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.order))
@@ -243,7 +301,7 @@ func (s *JobStore) List() []JobInfo {
 	s.mu.Unlock()
 	out := make([]JobInfo, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.Info()
+		out[i] = j.snapshot(false)
 	}
 	return out
 }
@@ -267,7 +325,7 @@ func (s *JobStore) Cancel(id string) (JobInfo, error) {
 		job.status = JobCancelled
 		job.finished = time.Now()
 		s.unqueue(job)
-		s.releaseName(job.Req.Name)
+		s.releaseName(job.reserved)
 	case JobRunning:
 		job.cancelled = true
 		job.cancel() // run() settles status when Run returns
@@ -298,7 +356,7 @@ func (s *JobStore) Close() {
 		job.status = JobCancelled
 		job.finished = time.Now()
 		job.mu.Unlock()
-		s.releaseName(job.Req.Name)
+		s.releaseName(job.reserved)
 	}
 	s.stop()
 	s.wg.Wait()
@@ -343,8 +401,8 @@ func (s *JobStore) worker() {
 	}
 }
 
-// run executes one job end to end: backend resolution, the exploration
-// driver, and registration of the finished bundle.
+// run executes one job end to end, whatever its kind, and settles its
+// final status.
 func (s *JobStore) run(job *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
@@ -358,13 +416,10 @@ func (s *JobStore) run(job *Job) {
 	job.cancel = cancel
 	job.mu.Unlock()
 
-	ens, d, meta, err := s.explore(ctx, job)
+	result, err := job.exec(ctx, job)
 	job.mu.Lock()
 	defer job.mu.Unlock()
 	job.finished = time.Now()
-	if d != nil {
-		job.quarantined = len(d.Quarantined())
-	}
 	if err != nil {
 		if job.cancelled || ctx.Err() != nil {
 			job.status = JobCancelled
@@ -372,25 +427,34 @@ func (s *JobStore) run(job *Job) {
 			job.status = JobFailed
 		}
 		job.errMsg = err.Error()
-		s.releaseName(job.Req.Name)
+		s.releaseName(job.reserved)
 		return
 	}
-	b, err := bundle.New(d.Space(), ens, meta)
-	if err == nil {
-		_, err = s.reg.Add(job.Req.Name, b, s.copts)
-	}
-	if err != nil {
-		job.status = JobFailed
-		job.errMsg = err.Error()
-		s.releaseName(job.Req.Name)
-		return
-	}
+	job.result = result
 	job.status = JobDone
 }
 
-// explore builds and runs the driver for one job.
-func (s *JobStore) explore(ctx context.Context, job *Job) (*core.Ensemble, *explore.Driver, bundle.Meta, error) {
-	req := job.Req
+// runExplore is an exploration job's exec: backend resolution, the
+// exploration driver, and registration of the finished bundle.
+func (s *JobStore) runExplore(ctx context.Context, job *Job, req ExploreRequest) error {
+	ens, d, meta, err := s.explore(ctx, job, req)
+	if d != nil {
+		job.mu.Lock()
+		job.quarantined = len(d.Quarantined())
+		job.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	b, err := bundle.New(d.Space(), ens, meta)
+	if err == nil {
+		_, err = s.reg.Add(req.Name, b, s.copts)
+	}
+	return err
+}
+
+// explore builds and runs the driver for one exploration job.
+func (s *JobStore) explore(ctx context.Context, job *Job, req ExploreRequest) (*core.Ensemble, *explore.Driver, bundle.Meta, error) {
 	sp, oracle, meta, err := s.backend(req)
 	if err != nil {
 		return nil, nil, meta, err

@@ -24,6 +24,20 @@
 // under the requested name, immediately queryable by every endpoint
 // above.
 //
+// The same job store runs full-space sweeps (internal/sweep) over
+// registered models — the paper's "evaluate the whole space through
+// the model" payoff as a service:
+//
+//	POST /v1/sweep               submit a sweep job (202 + job id)
+//
+// A sweep streams every design point of the models' shared space
+// through the batched kernels and reduces it into per-metric top-k
+// leaderboards and the Pareto frontier over all requested metrics
+// (several models' predictions, multi-task output columns, or
+// prediction variance as a confidence axis); the finished document
+// arrives in the job's "result" with live point-count progress while
+// it runs.
+//
 // Design points are addressed either by flat index ("point"/"points")
 // or by explicit choice vectors ("choices"); both are validated against
 // the model's design space before encoding. Batch endpoints call the
@@ -77,6 +91,7 @@ func NewWithJobs(reg *Registry, jobs *JobStore) *Server {
 	s.mux.HandleFunc("GET /v1/sensitivity", s.handleSensitivity)
 	s.mux.HandleFunc("POST /v1/sensitivity", s.handleSensitivity)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/bundle"
+	"repro/internal/sweep"
+)
+
+// Sweep request bounds: generous for real studies, tight enough that
+// one request cannot make the process hoard memory.
+const (
+	maxSweepTopK  = 4096
+	maxSweepChunk = 1 << 20
+)
+
+// SweepRequest is the wire form of one full-space sweep job: which
+// registered models contribute ranking metrics, which metrics to
+// reduce by, and the engine knobs. Results are bit-identical for any
+// Workers/Chunk setting.
+type SweepRequest struct {
+	// Model names the single registry model to sweep (may be empty on
+	// a one-model server); Models lists several whose bundles must
+	// share one design space (e.g. a performance and an energy model).
+	// Exactly one of the two forms may be used.
+	Model  string   `json:"model,omitempty"`
+	Models []string `json:"models,omitempty"`
+	// Metrics are the ranking axes. Empty selects the defaults: one
+	// model sweeps primary-prediction (maximize) plus prediction
+	// variance (minimize) — the performance-vs-confidence frontier;
+	// several models sweep one primary axis each.
+	Metrics []sweep.MetricSpec `json:"metrics,omitempty"`
+	// TopK is the per-metric leaderboard size (0 = default, negative =
+	// frontier only); Chunk is the enumeration granularity (0 =
+	// default). Workers bounds the engine's own pool — 0 keeps it at 1
+	// on the server, because the registered ensembles already fan
+	// batched predictions out over the server-wide worker bound and
+	// nesting two full-size pools would only oversubscribe the host
+	// under concurrent query traffic.
+	TopK    int `json:"topk,omitempty"`
+	Chunk   int `json:"chunk,omitempty"`
+	Workers int `json:"workers,omitempty"`
+}
+
+// SubmitSweep validates, enqueues and returns a new sweep job. The
+// metric set is resolved against the registry at submission, so a
+// request naming unknown models or incompatible spaces fails
+// synchronously; the sweep itself runs asynchronously on the store's
+// worker pool, with live progress in the job's Swept/SweepTotal.
+func (s *JobStore) SubmitSweep(req SweepRequest) (JobInfo, error) {
+	models := req.Models
+	if req.Model != "" {
+		if len(models) > 0 {
+			return JobInfo{}, fmt.Errorf(`serve: sweep takes "model" or "models", not both`)
+		}
+		models = []string{req.Model}
+	}
+	if len(models) == 0 {
+		m, err := s.reg.Get("") // the sole model, or a descriptive error
+		if err != nil {
+			return JobInfo{}, err
+		}
+		models = []string{m.Name}
+	}
+	bundles := make(map[string]*bundle.Bundle, len(models))
+	for _, name := range models {
+		if name == "" {
+			return JobInfo{}, fmt.Errorf(`serve: sweep "models" entries must be named`)
+		}
+		m, err := s.reg.Get(name)
+		if err != nil {
+			return JobInfo{}, err
+		}
+		bundles[m.Name] = m.Bundle
+	}
+	specs := req.Metrics
+	if len(specs) == 0 {
+		specs = sweep.DefaultSpecs(models)
+	}
+	set, sp, err := sweep.Resolve(specs, bundles)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	if req.TopK > maxSweepTopK {
+		return JobInfo{}, fmt.Errorf("serve: topk %d exceeds the %d limit", req.TopK, maxSweepTopK)
+	}
+	if req.Chunk < 0 || req.Chunk > maxSweepChunk {
+		return JobInfo{}, fmt.Errorf("serve: chunk %d outside [0,%d]", req.Chunk, maxSweepChunk)
+	}
+	if req.Workers < 0 {
+		return JobInfo{}, fmt.Errorf("serve: workers %d is negative", req.Workers)
+	}
+	engineWorkers := req.Workers
+	if engineWorkers == 0 {
+		engineWorkers = 1 // the ensembles' batch pool owns the parallelism
+	}
+	return s.enqueue(JobKindSweep, req, "", func(ctx context.Context, job *Job) (any, error) {
+		cfg := sweep.Config{
+			TopK:      req.TopK,
+			ChunkSize: req.Chunk,
+			Workers:   engineWorkers,
+			OnProgress: func(done, total int) {
+				job.mu.Lock()
+				job.swept, job.sweepTotal = done, total
+				job.mu.Unlock()
+			},
+		}
+		return sweep.Run(ctx, sp, set, cfg)
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	jobs, ok := s.requireJobs(w)
+	if !ok {
+		return
+	}
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, err := jobs.SubmitSweep(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case strings.Contains(err.Error(), "queue is full"):
+			status = http.StatusTooManyRequests
+		case strings.Contains(err.Error(), "unknown model"):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}

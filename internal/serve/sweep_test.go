@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/sweep"
+)
+
+// sweepStore builds a registry holding one trained model plus a job
+// store with no exploration backend needs exercised.
+func sweepStore(t *testing.T) (*JobStore, *Registry, *bundle.Bundle) {
+	t.Helper()
+	b := trainedBundle(t)
+	reg := NewRegistry()
+	if _, err := reg.Add("synth", b, CoalesceOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewJobStore(reg, testBackend(0, nil), 2, 8, CoalesceOpts{})
+	t.Cleanup(func() {
+		s.Close()
+		reg.Close()
+	})
+	return s, reg, b
+}
+
+// TestSweepJobMatchesInProcessRun: the served sweep must be the exact
+// in-process engine result — same top-k, same frontier, bit for bit.
+func TestSweepJobMatchesInProcessRun(t *testing.T) {
+	s, _, b := sweepStore(t)
+	info, err := s.SubmitSweep(SweepRequest{Model: "synth", TopK: 5, Workers: 3, Chunk: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != JobKindSweep {
+		t.Fatalf("job kind %q", info.Kind)
+	}
+	done := awaitJob(t, s, info.ID)
+	if done.Status != JobDone {
+		t.Fatalf("sweep finished %s (%s)", done.Status, done.Error)
+	}
+	got, ok := done.Result.(*sweep.Result)
+	if !ok {
+		t.Fatalf("job result is %T, want *sweep.Result", done.Result)
+	}
+
+	set, sp, err := sweep.Resolve(sweep.DefaultSpecs([]string{"synth"}),
+		map[string]*bundle.Bundle{"synth": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweep.Run(context.Background(), sp, set, sweep.Config{TopK: 5, ChunkSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.TopK, want.TopK) || !reflect.DeepEqual(got.Frontier, want.Frontier) {
+		t.Fatalf("served sweep diverged from in-process run:\n%+v\nvs\n%+v", got, want)
+	}
+	if done.Swept != sp.Size() || done.SweepTotal != sp.Size() {
+		t.Fatalf("progress settled at %d/%d, want %d/%d", done.Swept, done.SweepTotal, sp.Size(), sp.Size())
+	}
+	if done.Model != "" {
+		t.Fatalf("sweep job claims to have registered model %q", done.Model)
+	}
+	// The listing stays light: result documents come only from
+	// single-job lookups.
+	list := s.List()
+	if len(list) != 1 || list[0].Result != nil {
+		t.Fatalf("job listing carries a result document: %+v", list)
+	}
+	if list[0].Status != JobDone || list[0].Swept != sp.Size() {
+		t.Fatalf("listing lost status/progress: %+v", list[0])
+	}
+}
+
+// TestSweepSubmitValidation: malformed requests fail synchronously.
+func TestSweepSubmitValidation(t *testing.T) {
+	s, reg, _ := sweepStore(t)
+	cases := map[string]SweepRequest{
+		"both model and models": {Model: "synth", Models: []string{"synth"}},
+		"unknown model":         {Model: "nope"},
+		"empty models entry":    {Models: []string{""}},
+		"oversized topk":        {Model: "synth", TopK: maxSweepTopK + 1},
+		"negative chunk":        {Model: "synth", Chunk: -1},
+		"negative workers":      {Model: "synth", Workers: -1},
+		"bad metric model":      {Model: "synth", Metrics: []sweep.MetricSpec{{Model: "ghost"}}},
+		"bad metric output":     {Model: "synth", Metrics: []sweep.MetricSpec{{Output: 4}}},
+	}
+	for label, req := range cases {
+		if _, err := s.SubmitSweep(req); err == nil {
+			t.Errorf("%s accepted", label)
+		}
+	}
+	// The sole model may be left implicit — and once a second model
+	// exists, it may not.
+	info, err := s.SubmitSweep(SweepRequest{TopK: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := awaitJob(t, s, info.ID); done.Status != JobDone {
+		t.Fatalf("implicit-model sweep finished %s (%s)", done.Status, done.Error)
+	}
+	if _, err := reg.Add("second", trainedBundle(t), CoalesceOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitSweep(SweepRequest{}); err == nil {
+		t.Fatal("ambiguous implicit model accepted")
+	}
+}
+
+// TestSweepHTTPEndToEnd drives POST /v1/sweep → poll /v1/jobs/{id} →
+// read the result document, the curl workflow from the README.
+func TestSweepHTTPEndToEnd(t *testing.T) {
+	s, reg, _ := sweepStore(t)
+	srv := httptest.NewServer(NewWithJobs(reg, s))
+	defer srv.Close()
+
+	body := `{"model":"synth","topk":3,"metrics":[{"name":"ipc"},{"name":"conf","variance":true,"minimize":true}]}`
+	resp, err := http.Post(srv.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+	var submitted JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	var raw struct {
+		Status JobStatus `json:"status"`
+		Error  string    `json:"error"`
+		Result *struct {
+			Space    string             `json:"space"`
+			Points   int                `json:"points"`
+			Metrics  []sweep.MetricInfo `json:"metrics"`
+			TopK     [][]sweep.Point    `json:"topk"`
+			Frontier []sweep.Point      `json:"frontier"`
+		} `json:"result"`
+	}
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if raw.Status != JobQueued && raw.Status != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck at %s", raw.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if raw.Status != JobDone {
+		t.Fatalf("sweep finished %s (%s)", raw.Status, raw.Error)
+	}
+	res := raw.Result
+	if res == nil {
+		t.Fatal("done sweep carries no result document")
+	}
+	if res.Space != "synth" || res.Points != 40 {
+		t.Fatalf("result covers %q/%d, want synth/40", res.Space, res.Points)
+	}
+	if len(res.Metrics) != 2 || res.Metrics[0].Name != "ipc" || !res.Metrics[1].Minimize {
+		t.Fatalf("metrics = %+v", res.Metrics)
+	}
+	if len(res.TopK) != 2 || len(res.TopK[0]) != 3 {
+		t.Fatalf("topk shape %dx%d, want 2x3", len(res.TopK), len(res.TopK[0]))
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, p := range res.TopK[0] {
+		if len(p.Values) != 2 {
+			t.Fatalf("leaderboard point %d carries %d values, want 2", p.Index, len(p.Values))
+		}
+	}
+
+	// A server with no job store answers 503.
+	bare := httptest.NewServer(New(reg))
+	defer bare.Close()
+	r2, err := http.Post(bare.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sweep without jobs returned %d, want 503", r2.StatusCode)
+	}
+}
+
+// TestSweepHTTPErrorStatus maps validation failures onto 400/404.
+func TestSweepHTTPErrorStatus(t *testing.T) {
+	s, reg, _ := sweepStore(t)
+	srv := httptest.NewServer(NewWithJobs(reg, s))
+	defer srv.Close()
+	for body, want := range map[string]int{
+		`{"model":"ghost"}`:            http.StatusNotFound,
+		`{"model":"synth","topk"`:      http.StatusBadRequest,
+		`{"model":"synth","x":1}`:      http.StatusBadRequest,
+		`{"model":"synth","chunk":-2}`: http.StatusBadRequest,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("body %s returned %d, want %d", body, resp.StatusCode, want)
+		}
+	}
+}

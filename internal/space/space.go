@@ -11,6 +11,7 @@ package space
 
 import (
 	"fmt"
+	"iter"
 	"strings"
 
 	"repro/internal/stats"
@@ -224,6 +225,43 @@ func (s *Space) ValueRange(i int) (lo, hi float64) {
 		vals = p.Values
 	}
 	return stats.Min(vals), stats.Max(vals)
+}
+
+// ChunkAt iterates the design points with flat indices [start,
+// start+rows), yielding each index with its choice vector. Unlike
+// calling Choices per index, the whole chunk shares one choice buffer
+// that is advanced in mixed-radix order — no per-point allocation and
+// no repeated divisions — which is what lets full-space sweeps
+// enumerate billions of points without ever materializing the cross
+// product. The yielded slice is reused between iterations; callers
+// that retain choices across iterations must copy them.
+func (s *Space) ChunkAt(start, rows int) iter.Seq2[int, []int] {
+	if start < 0 || rows < 0 || start+rows > s.size {
+		panic(fmt.Sprintf("space: chunk [%d,%d) outside [0,%d)", start, start+rows, s.size))
+	}
+	return func(yield func(int, []int) bool) {
+		if rows == 0 {
+			return
+		}
+		choices := s.Choices(start)
+		for i := start; ; i++ {
+			if !yield(i, choices) {
+				return
+			}
+			if i+1 == start+rows {
+				return
+			}
+			// Advance the mixed-radix counter: increment the last digit
+			// and carry leftward, exactly matching Choices(i+1).
+			for p := len(choices) - 1; p >= 0; p-- {
+				choices[p]++
+				if choices[p] < s.radix[p] {
+					break
+				}
+				choices[p] = 0
+			}
+		}
+	}
 }
 
 // Sample draws k distinct design-point indices uniformly at random.

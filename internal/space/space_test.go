@@ -199,3 +199,68 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+// TestChunkAtMatchesChoices pins the chunked enumerator to the
+// per-index bijection over every chunk alignment of the demo space.
+func TestChunkAtMatchesChoices(t *testing.T) {
+	sp := demoSpace()
+	for _, chunk := range []int{1, 2, 7, 16, sp.Size()} {
+		for start := 0; start < sp.Size(); start += chunk {
+			rows := chunk
+			if start+rows > sp.Size() {
+				rows = sp.Size() - start
+			}
+			want := start
+			for idx, choices := range sp.ChunkAt(start, rows) {
+				if idx != want {
+					t.Fatalf("chunk %d@%d yielded index %d, want %d", chunk, start, idx, want)
+				}
+				ref := sp.Choices(idx)
+				for p := range ref {
+					if choices[p] != ref[p] {
+						t.Fatalf("index %d: chunked choices %v, Choices %v", idx, choices, ref)
+					}
+				}
+				want++
+			}
+			if want != start+rows {
+				t.Fatalf("chunk [%d,%d) yielded %d points", start, start+rows, want-start)
+			}
+		}
+	}
+}
+
+// TestChunkAtEarlyBreakAndEmpty covers iterator termination: a consumer
+// may stop early, and a zero-row chunk yields nothing.
+func TestChunkAtEarlyBreakAndEmpty(t *testing.T) {
+	sp := demoSpace()
+	n := 0
+	for range sp.ChunkAt(3, 10) {
+		n++
+		if n == 4 {
+			break
+		}
+	}
+	if n != 4 {
+		t.Fatalf("early break saw %d points, want 4", n)
+	}
+	for idx := range sp.ChunkAt(5, 0) {
+		t.Fatalf("empty chunk yielded %d", idx)
+	}
+}
+
+// TestChunkAtBounds rejects ranges outside the space.
+func TestChunkAtBounds(t *testing.T) {
+	sp := demoSpace()
+	for _, bad := range [][2]int{{-1, 2}, {0, sp.Size() + 1}, {sp.Size(), 1}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChunkAt(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			for range sp.ChunkAt(bad[0], bad[1]) {
+			}
+		}()
+	}
+}

@@ -1,0 +1,181 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/space"
+)
+
+// MetricSpec is the wire- and flag-friendly description of one ranking
+// metric, resolved against named model bundles by Resolve. The zero
+// spec means "the sole model's primary prediction, maximized".
+type MetricSpec struct {
+	// Name labels the result column; empty derives it from the rest
+	// ("model", "model[2]", "model.var").
+	Name string `json:"name,omitempty"`
+	// Model names the bundle backing this metric; empty is allowed
+	// only when exactly one bundle is in play.
+	Model string `json:"model,omitempty"`
+	// Output selects the ensemble output column (multi-task bundles).
+	Output int `json:"output,omitempty"`
+	// Variance ranks by member disagreement on Output instead of its
+	// mean — the confidence axis.
+	Variance bool `json:"variance,omitempty"`
+	// Minimize flips the ranking direction (e.g. energy, variance).
+	Minimize bool `json:"minimize,omitempty"`
+}
+
+// label is the display name a nameless spec gets.
+func (s MetricSpec) label() string {
+	n := s.Model
+	if n == "" {
+		n = "model"
+	}
+	if s.Output != 0 {
+		n = fmt.Sprintf("%s[%d]", n, s.Output)
+	}
+	if s.Variance {
+		n += ".var"
+	}
+	return n
+}
+
+// ParseSpecs parses the CLI metric grammar: comma-separated entries of
+//
+//	[name=]model[:outN][:var][:min|:max]
+//
+// e.g. "perf,energy:min" ranks two bundles' primary predictions,
+// "ipc=perf,conf=perf:var" adds the ensemble-disagreement confidence
+// axis, and "mt:out2:min" reads output column 2 of a multi-task
+// bundle. Variance metrics default to :min (confident points rank
+// first); everything else defaults to :max.
+func ParseSpecs(arg string) ([]MetricSpec, error) {
+	var specs []MetricSpec
+	for _, entry := range strings.Split(arg, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("sweep: empty metric entry in %q", arg)
+		}
+		var spec MetricSpec
+		if name, rest, ok := strings.Cut(entry, "="); ok {
+			spec.Name = strings.TrimSpace(name)
+			if spec.Name == "" {
+				return nil, fmt.Errorf("sweep: metric %q has an empty name", entry)
+			}
+			entry = rest
+		}
+		parts := strings.Split(entry, ":")
+		spec.Model = strings.TrimSpace(parts[0])
+		dir := ""
+		for _, flag := range parts[1:] {
+			switch {
+			case flag == "var":
+				spec.Variance = true
+			case flag == "min" || flag == "max":
+				if dir != "" {
+					return nil, fmt.Errorf("sweep: metric %q sets both :%s and :%s", entry, dir, flag)
+				}
+				dir = flag
+			case strings.HasPrefix(flag, "out"):
+				n, err := strconv.Atoi(flag[len("out"):])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("sweep: metric %q: bad output column %q", entry, flag)
+				}
+				spec.Output = n
+			default:
+				return nil, fmt.Errorf("sweep: metric %q: unknown flag %q (want outN, var, min or max)", entry, flag)
+			}
+		}
+		spec.Minimize = dir == "min" || (dir == "" && spec.Variance)
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// DefaultSpecs builds the metric list a sweep runs when the caller
+// names none: with one model, its primary prediction (maximized) plus
+// its prediction variance (minimized) — the performance-vs-confidence
+// frontier; with several, one primary prediction per model.
+func DefaultSpecs(models []string) []MetricSpec {
+	if len(models) == 1 {
+		return []MetricSpec{
+			{Model: models[0]},
+			{Model: models[0], Variance: true, Minimize: true},
+		}
+	}
+	specs := make([]MetricSpec, len(models))
+	for i, m := range models {
+		specs[i] = MetricSpec{Model: m}
+	}
+	return specs
+}
+
+// Resolve turns metric specs into a core.MetricSet against named
+// bundles, verifying that every bundle models one and the same design
+// space (parameter definitions included — two models over drifted
+// spaces must not be ranked jointly). It returns the set and the
+// shared space the sweep enumerates.
+func Resolve(specs []MetricSpec, bundles map[string]*bundle.Bundle) (*core.MetricSet, *space.Space, error) {
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("sweep: no metrics to rank by")
+	}
+	if len(bundles) == 0 {
+		return nil, nil, fmt.Errorf("sweep: no model bundles to rank with")
+	}
+	var sole string
+	if len(bundles) == 1 {
+		for name := range bundles {
+			sole = name
+		}
+	}
+	var sp *space.Space
+	metrics := make([]core.Metric, len(specs))
+	for i, spec := range specs {
+		name := spec.Model
+		if name == "" {
+			if sole == "" {
+				known := make([]string, 0, len(bundles))
+				for n := range bundles {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				return nil, nil, fmt.Errorf("sweep: metric %d names no model; loaded: %s", i, strings.Join(known, ", "))
+			}
+			name = sole
+		}
+		b, ok := bundles[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("sweep: metric %q reads unknown model %q", spec.label(), name)
+		}
+		if sp == nil {
+			sp = b.Space
+		} else if err := b.CompatibleWith(sp); err != nil {
+			return nil, nil, fmt.Errorf("sweep: model %q: %w", name, err)
+		}
+		m := core.Metric{
+			Name:     spec.Name,
+			Ens:      b.Ensemble,
+			Output:   spec.Output,
+			Minimize: spec.Minimize,
+		}
+		if spec.Variance {
+			m.Kind = core.MetricVariance
+		}
+		if m.Name == "" {
+			s := spec
+			s.Model = name
+			m.Name = s.label()
+		}
+		metrics[i] = m
+	}
+	set, err := core.NewMetricSet(metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, sp, nil
+}

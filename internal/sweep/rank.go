@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Point is one scored design point: its flat index in the design space
+// and its value on every metric, in metric-column order.
+type Point struct {
+	Index  int       `json:"point"`
+	Values []float64 `json:"values"`
+}
+
+// better reports whether value a beats value b on one metric, with the
+// deterministic tie-break on flat index that makes every sweep
+// reduction a total order: equal values rank the lower index first.
+func better(minimize bool, a, b float64, ai, bi int) bool {
+	if a != b {
+		if minimize {
+			return a < b
+		}
+		return a > b
+	}
+	return ai < bi
+}
+
+// topK is the bounded per-metric leaderboard: a k-element heap whose
+// root is the weakest kept point, so a full-space stream reduces in
+// O(size·log k) with O(k) memory. offer copies values only when the
+// candidate is actually kept.
+type topK struct {
+	metric   int // column this leaderboard ranks by
+	minimize bool
+	k        int
+	pts      []Point
+}
+
+func newTopK(metric int, minimize bool, k int) *topK {
+	if k < 0 {
+		k = 0 // frontier-only sweep: every offer is a no-op
+	}
+	return &topK{metric: metric, minimize: minimize, k: k, pts: make([]Point, 0, k)}
+}
+
+// heap.Interface: the root is the point every candidate must beat.
+func (t *topK) Len() int { return len(t.pts) }
+func (t *topK) Less(i, j int) bool {
+	return better(t.minimize, t.pts[j].Values[t.metric], t.pts[i].Values[t.metric], t.pts[j].Index, t.pts[i].Index)
+}
+func (t *topK) Swap(i, j int) { t.pts[i], t.pts[j] = t.pts[j], t.pts[i] }
+func (t *topK) Push(x any)    { t.pts = append(t.pts, x.(Point)) }
+func (t *topK) Pop() any {
+	old := t.pts
+	x := old[len(old)-1]
+	t.pts = old[:len(old)-1]
+	return x
+}
+
+// offer considers one candidate; values may be a reused buffer — it is
+// copied only if the candidate enters the leaderboard.
+func (t *topK) offer(index int, values []float64) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.pts) == t.k {
+		root := &t.pts[0]
+		if !better(t.minimize, values[t.metric], root.Values[t.metric], index, root.Index) {
+			return
+		}
+		root.Index = index
+		copy(root.Values, values)
+		heap.Fix(t, 0)
+		return
+	}
+	heap.Push(t, Point{Index: index, Values: append([]float64(nil), values...)})
+}
+
+// merge folds another leaderboard's kept points in.
+func (t *topK) merge(o *topK) {
+	for _, p := range o.pts {
+		t.offer(p.Index, p.Values)
+	}
+}
+
+// ranked returns the kept points best-first. The leaderboard is spent
+// afterwards.
+func (t *topK) ranked() []Point {
+	sort.Slice(t.pts, func(i, j int) bool {
+		return better(t.minimize, t.pts[i].Values[t.metric], t.pts[j].Values[t.metric], t.pts[i].Index, t.pts[j].Index)
+	})
+	return t.pts
+}
+
+// frontier is the streaming Pareto reducer over every metric at once.
+// A point survives iff no other point weakly dominates it (at least as
+// good on every metric, strictly better on one); points with exactly
+// equal metric vectors collapse onto the lowest index. Both rules are
+// properties of the point *set*, not of arrival order, so the frontier
+// is identical for any chunking, worker count, or merge order — the
+// heart of the sweep's bit-identity guarantee.
+type frontier struct {
+	minimize []bool
+	pts      []Point
+}
+
+func newFrontier(minimize []bool) *frontier {
+	return &frontier{minimize: minimize}
+}
+
+// dominates reports whether metric vector a weakly dominates b.
+func dominates(minimize []bool, a, b []float64) bool {
+	strict := false
+	for m := range a {
+		switch {
+		case a[m] == b[m]:
+		case better(minimize[m], a[m], b[m], 0, 0):
+			strict = true
+		default:
+			return false
+		}
+	}
+	return strict
+}
+
+func equalValues(a, b []float64) bool {
+	for m := range a {
+		if a[m] != b[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// offer considers one candidate; values may be a reused buffer — it is
+// copied only if the candidate joins the frontier.
+func (f *frontier) offer(index int, values []float64) {
+	for i := range f.pts {
+		q := &f.pts[i]
+		if equalValues(q.Values, values) {
+			if index < q.Index {
+				q.Index = index // duplicate collapse: lowest index represents the class
+			}
+			return
+		}
+		if dominates(f.minimize, q.Values, values) {
+			return
+		}
+	}
+	// The candidate survives: evict everything it now dominates.
+	kept := f.pts[:0]
+	for _, q := range f.pts {
+		if !dominates(f.minimize, values, q.Values) {
+			kept = append(kept, q)
+		}
+	}
+	f.pts = append(kept, Point{Index: index, Values: append([]float64(nil), values...)})
+}
+
+// merge folds another frontier in.
+func (f *frontier) merge(o *frontier) {
+	for _, p := range o.pts {
+		f.offer(p.Index, p.Values)
+	}
+}
+
+// sorted returns the frontier in ascending index order — the canonical
+// rendering every parity test compares bit for bit.
+func (f *frontier) sorted() []Point {
+	sort.Slice(f.pts, func(i, j int) bool { return f.pts[i].Index < f.pts[j].Index })
+	return f.pts
+}
