@@ -28,15 +28,30 @@
 //
 //	curl -s localhost:8080/v1/sweep -d '{"model":"mcf","topk":10}'
 //	curl -s localhost:8080/v1/jobs/job-2                # progress, then "result"
+//
+// Every server also answers POST /v1/sweep/shard — one range of a
+// sweep, computed synchronously — which is how cmd/sweep -nodes fans a
+// full-space ranking out across several serve processes (see
+// internal/cluster). Identical registries on every node keep the
+// merged result bit-identical to a single-process sweep.
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener stops,
+// in-flight requests get -drain to finish, and queued or running jobs
+// are cancelled with a recorded final state instead of vanishing
+// mid-write.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bundle"
@@ -53,6 +68,7 @@ func main() {
 	maxBatch := flag.Int("coalesce-batch", 256, "max single-point requests answered per batched flush")
 	linger := flag.Duration("coalesce-linger", 200*time.Microsecond, "how long a flush waits for more requests")
 	jobs := flag.Int("jobs", 1, "exploration jobs running concurrently (0 disables POST /v1/explore)")
+	drain := flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight requests before closing connections")
 	jobQueue := flag.Int("job-queue", 16, "exploration jobs queued beyond the running ones before 429s")
 	defaultInsts := flag.Int("insts", 30000, "default instructions per simulation for exploration jobs")
 	var models []string
@@ -92,7 +108,6 @@ func main() {
 	var store *serve.JobStore
 	if *jobs > 0 {
 		store = serve.NewJobStore(reg, simBackend(*defaultInsts), *jobs, *jobQueue, opts)
-		defer store.Close()
 		fmt.Printf("exploration enabled: %d concurrent job(s), queue of %d (POST /v1/explore)\n", *jobs, *jobQueue)
 	}
 
@@ -108,7 +123,34 @@ func main() {
 		WriteTimeout:      2 * time.Minute, // full-size sensitivity sweeps included
 		IdleTimeout:       2 * time.Minute,
 	}
-	fatal(srv.ListenAndServe())
+
+	// Serve until the listener fails or a shutdown signal arrives; on
+	// SIGINT/SIGTERM, drain connections under a deadline and settle the
+	// job store so every in-flight job records a final state.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if store != nil {
+			store.Close()
+		}
+		fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills the process the old-fashioned way
+		fmt.Fprintf(os.Stderr, "serve: shutting down (draining for up to %v)\n", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		}
+		if store != nil {
+			store.Close() // cancels queued/running jobs; each settles a final status
+		}
+		reg.Close()
+		fmt.Fprintln(os.Stderr, "serve: stopped")
+	}
 }
 
 // simBackend resolves exploration requests onto the compiled-in studies

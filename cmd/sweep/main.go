@@ -18,6 +18,22 @@
 // variance minimized). The engine streams the space in chunks over a
 // worker pool; output is bit-identical for any -workers/-chunk
 // setting. -json emits the full result document instead of tables.
+//
+// With -nodes the same ranking fans out across a cluster of serve
+// nodes instead of running locally (falling back to the local engine
+// when the list is empty). Arguments then name models *registered on
+// the nodes* — no local bundle files are read:
+//
+//	serve -addr :8081 -model perf=perf.bundle &    # every node serves
+//	serve -addr :8082 -model perf=perf.bundle &    # the same bundles
+//	sweep -nodes localhost:8081,localhost:8082 -topk 25 perf
+//
+// The coordinator shards the flat index range on absolute chunk
+// boundaries, dispatches to POST /v1/sweep/shard with bounded
+// in-flight concurrency (-probe weights nodes by measured points/s),
+// retries failed or timed-out shards on surviving nodes, and merges
+// partials in shard order — bit-identical to the local engine for any
+// node count and failure schedule.
 package main
 
 import (
@@ -32,16 +48,21 @@ import (
 	"time"
 
 	"repro/internal/bundle"
+	"repro/internal/cluster"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 )
 
 func main() {
 	topk := flag.Int("topk", sweep.DefaultTopK, "per-metric leaderboard size (negative = frontier only)")
 	metricsFlag := flag.String("metrics", "", "ranking axes, e.g. \"perf,energy:min,conf=perf:var\" (default: per-bundle primaries; single bundle adds its :var axis)")
-	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = all cores); results are identical for any setting")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = all cores; with -nodes: per-node engine workers); results are identical for any setting")
 	chunk := flag.Int("chunk", 0, "design points per streamed chunk (0 = default)")
 	jsonOut := flag.Bool("json", false, "emit the result document as JSON")
 	quiet := flag.Bool("quiet", false, "suppress progress reporting on stderr")
+	nodes := flag.String("nodes", "", "comma-separated serve-node URLs to fan the sweep out across (empty = run locally)")
+	shardPts := flag.Int("shard", 0, "with -nodes: design points per dispatched shard (0 = auto, chunk-aligned)")
+	probe := flag.Bool("probe", false, "with -nodes: weight dispatch by each node's probed points/s")
 	var modelFlags []string
 	flag.Func("model", "name=bundle.json model to rank with (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -52,6 +73,53 @@ func main() {
 	})
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var res *sweep.Result
+	describe := func(int) string { return "" }
+	if *nodes != "" {
+		res = runCluster(ctx, *nodes, flag.Args(), modelFlags, *metricsFlag, *topk, *chunk, *workers, *shardPts, *probe, *quiet)
+	} else {
+		var describeSpace func(int) string
+		res, describeSpace = runLocal(ctx, modelFlags, *metricsFlag, *topk, *chunk, *workers, *quiet)
+		describe = describeSpace
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(res))
+		return
+	}
+
+	fmt.Printf("%s: %d points swept in %v (%.0f points/s) — %d metric(s)\n",
+		res.Space, res.Points, res.Elapsed.Round(time.Millisecond), res.PointsPerSec, len(res.Metrics))
+	for m, lead := range res.TopK {
+		info := res.Metrics[m]
+		dir := "max"
+		if info.Minimize {
+			dir = "min"
+		}
+		fmt.Printf("\ntop %d by %s (%s):\n", len(lead), info.Name, dir)
+		for rank, p := range lead {
+			fmt.Printf("  %2d. %s\n", rank+1, renderPoint(res, p))
+		}
+		if len(lead) > 0 {
+			if d := describe(lead[0].Index); d != "" {
+				fmt.Printf("      best: %s\n", d)
+			}
+		}
+	}
+	fmt.Printf("\nPareto frontier over {%s}: %d point(s)\n", metricList(res), len(res.Frontier))
+	for _, p := range res.Frontier {
+		fmt.Printf("  %s\n", renderPoint(res, p))
+	}
+}
+
+// runLocal loads bundle files and sweeps in-process, returning the
+// result and a design-point describer backed by the loaded space.
+func runLocal(ctx context.Context, modelFlags []string, metricsFlag string, topk, chunk, workers int, quiet bool) (*sweep.Result, func(int) string) {
 	for _, path := range flag.Args() {
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		modelFlags = append(modelFlags, name+"="+path)
@@ -77,58 +145,71 @@ func main() {
 	}
 
 	specs := sweep.DefaultSpecs(names)
-	if *metricsFlag != "" {
+	if metricsFlag != "" {
 		var err error
-		specs, err = sweep.ParseSpecs(*metricsFlag)
+		specs, err = sweep.ParseSpecs(metricsFlag)
 		fatal(err)
 	}
 	set, sp, err := sweep.Resolve(specs, bundles)
 	fatal(err)
 
-	cfg := sweep.Config{TopK: *topk, ChunkSize: *chunk, Workers: *workers}
-	if !*quiet {
-		start := time.Now()
-		cfg.OnProgress = func(done, total int) {
-			elapsed := time.Since(start).Seconds()
-			fmt.Fprintf(os.Stderr, "\rswept %d/%d points (%.0f%%, %.0f points/s)   ",
-				done, total, 100*float64(done)/float64(total), float64(done)/elapsed)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+	cfg := sweep.Config{TopK: topk, ChunkSize: chunk, Workers: workers}
+	if !quiet {
+		cfg.OnProgress = progressLine()
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	res, err := sweep.Run(ctx, sp, set, cfg)
 	fatal(err)
+	return res, sp.Describe
+}
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		fatal(enc.Encode(res))
-		return
+// runCluster fans the sweep out across serve nodes; model arguments
+// name the nodes' registered bundles.
+func runCluster(ctx context.Context, nodeList string, args, modelFlags []string, metricsFlag string, topk, chunk, workers, shardPts int, probe, quiet bool) *sweep.Result {
+	if len(modelFlags) > 0 {
+		fatal(fmt.Errorf("-model name=path loads local bundle files; with -nodes, name the nodes' registered models as plain arguments"))
 	}
+	req := serve.SweepRequest{TopK: topk, Chunk: chunk, Workers: workers}
+	switch len(args) {
+	case 0: // the nodes' sole registered model
+	case 1:
+		req.Model = args[0]
+	default:
+		req.Models = args
+	}
+	if metricsFlag != "" {
+		specs, err := sweep.ParseSpecs(metricsFlag)
+		fatal(err)
+		req.Metrics = specs
+	}
+	cfg := cluster.Config{
+		Nodes:       strings.Split(nodeList, ","),
+		Request:     req,
+		ShardPoints: shardPts,
+		Probe:       probe,
+	}
+	if !quiet {
+		cfg.OnProgress = progressLine()
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	coord, err := cluster.New(cfg)
+	fatal(err)
+	res, err := coord.Run(ctx)
+	fatal(err)
+	return res
+}
 
-	fmt.Printf("%s: %d points swept in %v (%.0f points/s) — %d metric(s), %d models\n",
-		res.Space, res.Points, res.Elapsed.Round(time.Millisecond), res.PointsPerSec, len(res.Metrics), len(bundles))
-	for m, lead := range res.TopK {
-		info := res.Metrics[m]
-		dir := "max"
-		if info.Minimize {
-			dir = "min"
+// progressLine renders live swept/total progress on stderr.
+func progressLine() func(done, total int) {
+	start := time.Now()
+	return func(done, total int) {
+		elapsed := time.Since(start).Seconds()
+		fmt.Fprintf(os.Stderr, "\rswept %d/%d points (%.0f%%, %.0f points/s)   ",
+			done, total, 100*float64(done)/float64(total), float64(done)/elapsed)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
 		}
-		fmt.Printf("\ntop %d by %s (%s):\n", len(lead), info.Name, dir)
-		for rank, p := range lead {
-			fmt.Printf("  %2d. %s\n", rank+1, renderPoint(res, p))
-		}
-		if len(lead) > 0 {
-			fmt.Printf("      best: %s\n", sp.Describe(lead[0].Index))
-		}
-	}
-	fmt.Printf("\nPareto frontier over {%s}: %d point(s)\n", metricList(res), len(res.Frontier))
-	for _, p := range res.Frontier {
-		fmt.Printf("  %s\n", renderPoint(res, p))
 	}
 }
 

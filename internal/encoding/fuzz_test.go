@@ -1,0 +1,44 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/space"
+)
+
+// FuzzEncodeRange checks the chunked encoder against the per-index
+// path bit for bit: every row of EncodeRange(start, rows) must equal
+// EncodeIndex on the same flat index, across all four parameter kinds
+// (minimax-scaled, one-hot, boolean) and arbitrary windows.
+func FuzzEncodeRange(f *testing.F) {
+	sp := space.New("fuzz-enc", []space.Param{
+		{Name: "size", Kind: space.Cardinal, Values: []float64{8, 16, 32, 64}},
+		{Name: "freq", Kind: space.Continuous, Values: []float64{1.0, 1.5, 2.2}},
+		{Name: "policy", Kind: space.Nominal, Levels: []string{"lru", "fifo", "rand"}},
+		{Name: "prefetch", Kind: space.Boolean, Values: []float64{0, 1}},
+		{Name: "flat", Kind: space.Cardinal, Values: []float64{5}}, // single-valued axis: encodes 0.5
+	})
+	enc := NewEncoder(sp)
+	f.Add(uint64(0), uint64(7))
+	f.Add(uint64(17), uint64(19))
+	f.Add(uint64(71), uint64(1))
+	f.Fuzz(func(t *testing.T, start, rows uint64) {
+		size := sp.Size()
+		lo := int(start % uint64(size))
+		n := int(rows % uint64(size-lo+1))
+		width := enc.Width()
+		got := enc.EncodeRange(lo, n, nil)
+		if len(got) != n*width {
+			t.Fatalf("EncodeRange(%d,%d) wrote %d values, want %d", lo, n, len(got), n*width)
+		}
+		for r := 0; r < n; r++ {
+			want := enc.EncodeIndex(lo+r, nil)
+			for c, v := range want {
+				if got[r*width+c] != v {
+					t.Fatalf("row %d (index %d) input %d: EncodeRange %v, EncodeIndex %v",
+						r, lo+r, c, got[r*width+c], v)
+				}
+			}
+		}
+	})
+}

@@ -38,6 +38,17 @@
 // arrives in the job's "result" with live point-count progress while
 // it runs.
 //
+// Every server — job store or not — also answers sweep *shards*
+// synchronously, which is how a cluster coordinator (internal/cluster)
+// fans one full-space ranking out across many nodes:
+//
+//	POST /v1/sweep/shard         score flat indices [start,end) → partial reduction
+//
+// The returned partial (per-metric top-k + local Pareto front, flat
+// indices into the full space) is deterministic for the loaded
+// bundles, so partials from any mix of nodes merge back bit-identical
+// to a single-process sweep.
+//
 // Design points are addressed either by flat index ("point"/"points")
 // or by explicit choice vectors ("choices"); both are validated against
 // the model's design space before encoding. Batch endpoints call the
@@ -92,6 +103,7 @@ func NewWithJobs(reg *Registry, jobs *JobStore) *Server {
 	s.mux.HandleFunc("POST /v1/sensitivity", s.handleSensitivity)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/sweep/shard", s.handleSweepShard)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)

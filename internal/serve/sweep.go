@@ -7,6 +7,8 @@ import (
 	"strings"
 
 	"repro/internal/bundle"
+	"repro/internal/core"
+	"repro/internal/space"
 	"repro/internal/sweep"
 )
 
@@ -45,34 +47,63 @@ type SweepRequest struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// SubmitSweep validates, enqueues and returns a new sweep job. The
-// metric set is resolved against the registry at submission, so a
-// request naming unknown models or incompatible spaces fails
-// synchronously; the sweep itself runs asynchronously on the store's
-// worker pool, with live progress in the job's Swept/SweepTotal.
-func (s *JobStore) SubmitSweep(req SweepRequest) (JobInfo, error) {
+// Validate checks the request's registry-independent bounds — the
+// checks a server will enforce before touching any model. Cluster
+// coordinators run it before dispatch: the same request bytes go to
+// every node, so a violation here is deterministic and must fail the
+// sweep locally instead of masquerading as node failures.
+func (r SweepRequest) Validate() error {
+	switch {
+	case r.Model != "" && len(r.Models) > 0:
+		return fmt.Errorf(`serve: sweep takes "model" or "models", not both`)
+	case r.TopK > maxSweepTopK:
+		return fmt.Errorf("serve: topk %d exceeds the %d limit", r.TopK, maxSweepTopK)
+	case r.Chunk < 0 || r.Chunk > maxSweepChunk:
+		return fmt.Errorf("serve: chunk %d outside [0,%d]", r.Chunk, maxSweepChunk)
+	case r.Workers < 0:
+		return fmt.Errorf("serve: workers %d is negative", r.Workers)
+	}
+	seen := make(map[string]bool, len(r.Models))
+	for _, name := range r.Models {
+		if seen[name] {
+			// Matching cmd/sweep's local path: a duplicate would
+			// otherwise silently fabricate duplicate metric axes.
+			return fmt.Errorf("serve: model %q listed twice", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// resolveSweepRequest validates a sweep request's engine bounds and
+// resolves its models and metrics against the registry. It is the
+// shared admission path of asynchronous sweep jobs (POST /v1/sweep)
+// and synchronous shard runs (POST /v1/sweep/shard), so both reject
+// malformed requests with one vocabulary and — crucially for the
+// distributed merge — normalize metrics identically.
+func resolveSweepRequest(reg *Registry, req SweepRequest) (*core.MetricSet, *space.Space, error) {
+	if err := req.Validate(); err != nil {
+		return nil, nil, err
+	}
 	models := req.Models
 	if req.Model != "" {
-		if len(models) > 0 {
-			return JobInfo{}, fmt.Errorf(`serve: sweep takes "model" or "models", not both`)
-		}
 		models = []string{req.Model}
 	}
 	if len(models) == 0 {
-		m, err := s.reg.Get("") // the sole model, or a descriptive error
+		m, err := reg.Get("") // the sole model, or a descriptive error
 		if err != nil {
-			return JobInfo{}, err
+			return nil, nil, err
 		}
 		models = []string{m.Name}
 	}
 	bundles := make(map[string]*bundle.Bundle, len(models))
 	for _, name := range models {
 		if name == "" {
-			return JobInfo{}, fmt.Errorf(`serve: sweep "models" entries must be named`)
+			return nil, nil, fmt.Errorf(`serve: sweep "models" entries must be named`)
 		}
-		m, err := s.reg.Get(name)
+		m, err := reg.Get(name)
 		if err != nil {
-			return JobInfo{}, err
+			return nil, nil, err
 		}
 		bundles[m.Name] = m.Bundle
 	}
@@ -80,28 +111,34 @@ func (s *JobStore) SubmitSweep(req SweepRequest) (JobInfo, error) {
 	if len(specs) == 0 {
 		specs = sweep.DefaultSpecs(models)
 	}
-	set, sp, err := sweep.Resolve(specs, bundles)
+	return sweep.Resolve(specs, bundles)
+}
+
+// engineWorkers resolves the request's engine pool size: 0 stays at 1
+// on the server, because the registered ensembles already fan batched
+// predictions out over the server-wide worker bound.
+func (r SweepRequest) engineWorkers() int {
+	if r.Workers == 0 {
+		return 1
+	}
+	return r.Workers
+}
+
+// SubmitSweep validates, enqueues and returns a new sweep job. The
+// metric set is resolved against the registry at submission, so a
+// request naming unknown models or incompatible spaces fails
+// synchronously; the sweep itself runs asynchronously on the store's
+// worker pool, with live progress in the job's Swept/SweepTotal.
+func (s *JobStore) SubmitSweep(req SweepRequest) (JobInfo, error) {
+	set, sp, err := resolveSweepRequest(s.reg, req)
 	if err != nil {
 		return JobInfo{}, err
-	}
-	if req.TopK > maxSweepTopK {
-		return JobInfo{}, fmt.Errorf("serve: topk %d exceeds the %d limit", req.TopK, maxSweepTopK)
-	}
-	if req.Chunk < 0 || req.Chunk > maxSweepChunk {
-		return JobInfo{}, fmt.Errorf("serve: chunk %d outside [0,%d]", req.Chunk, maxSweepChunk)
-	}
-	if req.Workers < 0 {
-		return JobInfo{}, fmt.Errorf("serve: workers %d is negative", req.Workers)
-	}
-	engineWorkers := req.Workers
-	if engineWorkers == 0 {
-		engineWorkers = 1 // the ensembles' batch pool owns the parallelism
 	}
 	return s.enqueue(JobKindSweep, req, "", func(ctx context.Context, job *Job) (any, error) {
 		cfg := sweep.Config{
 			TopK:      req.TopK,
 			ChunkSize: req.Chunk,
-			Workers:   engineWorkers,
+			Workers:   req.engineWorkers(),
 			OnProgress: func(done, total int) {
 				job.mu.Lock()
 				job.swept, job.sweepTotal = done, total
@@ -110,6 +147,18 @@ func (s *JobStore) SubmitSweep(req SweepRequest) (JobInfo, error) {
 		}
 		return sweep.Run(ctx, sp, set, cfg)
 	})
+}
+
+// sweepErrorStatus maps a sweep admission error onto its HTTP status.
+// Both sweep surfaces (async jobs and synchronous shards) must agree:
+// cluster coordinators treat a shard 400 as a deterministic request
+// rejection (sweep-fatal) and anything else as a node failure
+// (retry/retire), so the mapping is part of the distributed contract.
+func sweepErrorStatus(err error) int {
+	if strings.Contains(err.Error(), "unknown model") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -124,12 +173,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := jobs.SubmitSweep(req)
 	if err != nil {
-		status := http.StatusBadRequest
-		switch {
-		case strings.Contains(err.Error(), "queue is full"):
+		status := sweepErrorStatus(err)
+		if strings.Contains(err.Error(), "queue is full") {
 			status = http.StatusTooManyRequests
-		case strings.Contains(err.Error(), "unknown model"):
-			status = http.StatusNotFound
 		}
 		writeError(w, status, "%v", err)
 		return

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzPoints decodes raw fuzz bytes into a small point set over 1–3
+// metrics. Values are quantized to a handful of levels so ties, exact
+// duplicates and dominance chains all occur routinely instead of
+// almost never.
+func fuzzPoints(data []byte) (minimize []bool, pts []Point) {
+	if len(data) < 2 {
+		return nil, nil
+	}
+	nm := int(data[0])%3 + 1
+	minimize = make([]bool, nm)
+	for m := range minimize {
+		minimize[m] = data[1]&(1<<m) != 0
+	}
+	data = data[2:]
+	for i := 0; i+nm <= len(data) && len(pts) < 64; i += nm {
+		v := make([]float64, nm)
+		for m := 0; m < nm; m++ {
+			v[m] = float64(data[i+m] % 5)
+		}
+		pts = append(pts, Point{Index: len(pts), Values: v})
+	}
+	return minimize, pts
+}
+
+// refFrontier is the O(n²) transcription of the frontier definition: a
+// point survives iff nothing weakly dominates it and it is the
+// lowest-indexed member of its exact-value class.
+func refFrontier(minimize []bool, pts []Point) []Point {
+	var out []Point
+	for i := range pts {
+		keep := true
+		for j := range pts {
+			if j == i {
+				continue
+			}
+			if dominates(minimize, pts[j].Values, pts[i].Values) ||
+				(equalValues(pts[j].Values, pts[i].Values) && pts[j].Index < pts[i].Index) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+// FuzzParetoDominance fuzzes the streaming frontier reducer against
+// the dominance definition: dominance must be irreflexive and
+// antisymmetric, and the reducer must match the O(n²) reference for
+// any offer order — the set-function property the whole distributed
+// merge rests on.
+func FuzzParetoDominance(f *testing.F) {
+	f.Add([]byte{1, 0, 3, 1, 4, 1, 5, 0, 2, 2})
+	f.Add([]byte{2, 1, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4})
+	f.Add([]byte{0, 3, 4, 4, 4, 4, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		minimize, pts := fuzzPoints(data)
+		if len(pts) == 0 {
+			return
+		}
+		for i := range pts {
+			if dominates(minimize, pts[i].Values, pts[i].Values) {
+				t.Fatalf("point %d dominates itself", i)
+			}
+			for j := range pts {
+				if dominates(minimize, pts[i].Values, pts[j].Values) &&
+					dominates(minimize, pts[j].Values, pts[i].Values) {
+					t.Fatalf("points %d and %d dominate each other", i, j)
+				}
+			}
+		}
+		want := refFrontier(minimize, pts)
+		offer := func(order []int) []Point {
+			fr := newFrontier(minimize)
+			for _, i := range order {
+				fr.offer(pts[i].Index, pts[i].Values)
+			}
+			return fr.sorted()
+		}
+		forward := make([]int, len(pts))
+		reverse := make([]int, len(pts))
+		rotated := make([]int, len(pts))
+		for i := range pts {
+			forward[i] = i
+			reverse[i] = len(pts) - 1 - i
+			rotated[i] = (i + len(pts)/2) % len(pts)
+		}
+		for _, order := range [][]int{forward, reverse, rotated} {
+			if got := offer(order); !reflect.DeepEqual(got, want) {
+				t.Fatalf("order %v: frontier %v, reference %v (minimize %v, points %v)",
+					order, got, want, minimize, pts)
+			}
+		}
+	})
+}

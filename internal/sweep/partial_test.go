@@ -1,0 +1,198 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// partialJSON canonicalizes a partial for byte-exact comparison.
+func partialJSON(t *testing.T, p *Partial) []byte {
+	t.Helper()
+	buf, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// runPartialRange is shorthand for one shard run.
+func runPartialRange(t *testing.T, cfg Config, start, end int) *Partial {
+	t.Helper()
+	set, sp := testSet(t)
+	cfg.Start, cfg.End = start, end
+	p, err := RunPartial(context.Background(), sp, set, cfg)
+	if err != nil {
+		t.Fatalf("RunPartial [%d,%d): %v", start, end, err)
+	}
+	return p
+}
+
+// TestPartialMergeAssociative is the shard algebra's contract,
+// property-style: for random split points a < b < c, random k and
+// chunk sizes, merge(P(a,b), P(b,c)) equals P(a,c) byte for byte —
+// including splits that do NOT fall on chunk boundaries, because both
+// reductions are pure functions of the covered point set.
+func TestPartialMergeAssociative(t *testing.T) {
+	_, sp := testSet(t)
+	size := sp.Size()
+	rng := stats.NewRNG(2026)
+	topks := []int{-1, 1, 3, 10, size + 5}
+	chunks := []int{1, 7, 32, 4096}
+	for trial := 0; trial < 40; trial++ {
+		a := rng.Intn(size - 2)
+		b := a + 1 + rng.Intn(size-a-2)
+		c := b + 1 + rng.Intn(size-b-1) + 1
+		if c > size {
+			c = size
+		}
+		cfg := Config{TopK: topks[rng.Intn(len(topks))], ChunkSize: chunks[rng.Intn(len(chunks))], Workers: 1 + rng.Intn(4)}
+		left := runPartialRange(t, cfg, a, b)
+		right := runPartialRange(t, cfg, b, c)
+		whole := runPartialRange(t, cfg, a, c)
+		if err := left.Merge(right); err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		got, want := partialJSON(t, left), partialJSON(t, whole)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (a=%d b=%d c=%d cfg=%+v): merge(P(a,b),P(b,c)) != P(a,c)\ngot  %s\nwant %s",
+				trial, a, b, c, cfg, got, want)
+		}
+	}
+}
+
+// TestPartialMergeSurvivesJSON: a partial that crossed the wire merges
+// to the same bits as one that never left the process — float64 values
+// round-trip through encoding/json exactly.
+func TestPartialMergeSurvivesJSON(t *testing.T) {
+	_, sp := testSet(t)
+	size := sp.Size()
+	cfg := Config{TopK: 6, ChunkSize: 16}
+	direct := runPartialRange(t, cfg, 0, size)
+	mid := size / 3
+	left := runPartialRange(t, cfg, 0, mid)
+	right := runPartialRange(t, cfg, mid, size)
+	var wireLeft, wireRight Partial
+	if err := json.Unmarshal(partialJSON(t, left), &wireLeft); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(partialJSON(t, right), &wireRight); err != nil {
+		t.Fatal(err)
+	}
+	if err := wireLeft.Merge(&wireRight); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := partialJSON(t, &wireLeft), partialJSON(t, direct); !bytes.Equal(got, want) {
+		t.Fatalf("wire merge diverged\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestShardedMergeReproducesRun splits the space into random shard
+// counts, merges in range order, and compares the rendered Result to
+// the single-process Run (minus the timing fields).
+func TestShardedMergeReproducesRun(t *testing.T) {
+	set, sp := testSet(t)
+	size := sp.Size()
+	cfg := Config{TopK: 5, ChunkSize: 8, Workers: 2}
+	want, err := Run(context.Background(), sp, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(7)
+	for _, nshards := range []int{1, 2, 3, 7, size} {
+		cuts := append([]int{0, size}, rng.SampleWithoutReplacement(size-1, nshards-1)...)
+		for i := range cuts[2:] {
+			cuts[2+i]++ // sample is over [0,size-1); interior cuts live in [1,size)
+		}
+		sort.Ints(cuts)
+		var acc *Partial
+		for i := 0; i+1 < len(cuts); i++ {
+			p := runPartialRange(t, cfg, cuts[i], cuts[i+1])
+			if acc == nil {
+				acc = p
+				continue
+			}
+			if err := acc.Merge(p); err != nil {
+				t.Fatalf("nshards=%d: %v", nshards, err)
+			}
+		}
+		sameReduction(t, "sharded vs Run", want, acc.Result())
+	}
+}
+
+// TestPartialMergeValidation rejects non-mergeable partials with
+// errors naming the disagreement.
+func TestPartialMergeValidation(t *testing.T) {
+	cfg := Config{TopK: 4, ChunkSize: 16}
+	a := runPartialRange(t, cfg, 0, 20)
+	b := runPartialRange(t, cfg, 20, 40)
+	gap := runPartialRange(t, cfg, 30, 40)
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("nil partial merged")
+	}
+	if err := a.Merge(gap); err == nil || !strings.Contains(err.Error(), "not adjacent") {
+		t.Fatalf("gap merge err = %v", err)
+	}
+	drifted := runPartialRange(t, cfg, 20, 40)
+	drifted.Space = "other"
+	if err := a.Merge(drifted); err == nil || !strings.Contains(err.Error(), "spaces") {
+		t.Fatalf("space mismatch err = %v", err)
+	}
+	otherK := runPartialRange(t, Config{TopK: 9, ChunkSize: 16}, 20, 40)
+	if err := a.Merge(otherK); err == nil || !strings.Contains(err.Error(), "leaderboard size") {
+		t.Fatalf("k mismatch err = %v", err)
+	}
+	renamed := runPartialRange(t, cfg, 20, 40)
+	renamed.Metrics[0].Name = "impostor"
+	if err := a.Merge(renamed); err == nil || !strings.Contains(err.Error(), "different metrics") {
+		t.Fatalf("metric mismatch err = %v", err)
+	}
+	// The happy path still works after all those rejections left a
+	// untouched.
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != 0 || a.End != 40 {
+		t.Fatalf("merged range [%d,%d), want [0,40)", a.Start, a.End)
+	}
+}
+
+// TestConfigRangeValidation: malformed ranges fail with errors naming
+// the bad field instead of silently clamping.
+func TestConfigRangeValidation(t *testing.T) {
+	set, sp := testSet(t)
+	size := sp.Size()
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Start: -1}, "Config.Start -1 is negative"},
+		{Config{Start: size + 5}, "exceeds the space's"},
+		{Config{End: -3}, "Config.End -3 is negative"},
+		{Config{End: size + 1}, "exceeds the space's"},
+		{Config{Start: 10, End: 5}, "Config.End 5 is before Config.Start 10"},
+		{Config{Start: 7, End: 7}, "range [7,7) is empty"},
+	}
+	for _, tc := range cases {
+		_, err := RunPartial(context.Background(), sp, set, tc.cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("cfg %+v: err = %v, want %q", tc.cfg, err, tc.want)
+		}
+		if _, err := Run(context.Background(), sp, set, tc.cfg); err == nil {
+			t.Errorf("Run accepted cfg %+v", tc.cfg)
+		}
+	}
+	// End == 0 selects the whole space; an explicit suffix range works.
+	p, err := RunPartial(context.Background(), sp, set, Config{Start: size - 5, ChunkSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Start != size-5 || p.End != size {
+		t.Fatalf("suffix range [%d,%d), want [%d,%d)", p.Start, p.End, size-5, size)
+	}
+}

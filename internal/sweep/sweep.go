@@ -54,6 +54,15 @@ type Config struct {
 	// TopK is the per-metric leaderboard size (0 = DefaultTopK,
 	// negative = no leaderboards, frontier only).
 	TopK int
+	// Start and End restrict the sweep to the half-open flat-index
+	// range [Start, End) — one contiguous shard of the space. The zero
+	// values select the whole space (End == 0 means Size()). Chunk
+	// boundaries stay aligned to absolute ChunkSize multiples of the
+	// full space regardless of Start, so a shard's per-chunk reduction
+	// sequence is exactly a sub-sequence of the full run's and shard
+	// outputs merge back bit-identically (see Partial).
+	Start int
+	End   int
 	// ChunkSize is the number of points one work unit enumerates,
 	// encodes and scores (0 = DefaultChunkSize). Results are
 	// bit-identical for any setting; throughput is flat across a wide
@@ -98,21 +107,68 @@ type Result struct {
 	PointsPerSec float64       `json:"pointsPerSec"`
 }
 
-// partial is one chunk's reduction, travelling worker → reducer.
-type partial struct {
+// chunkPart is one chunk's reduction, travelling worker → reducer.
+type chunkPart struct {
 	id    int
 	rows  int
 	tops  []*topK
 	front *frontier
 }
 
-// Run sweeps every point of sp through the metric set and reduces the
-// stream into per-metric top-k leaderboards and the Pareto frontier.
-// The encoder is derived from sp, so the metric set's ensembles must
-// have been trained on sp's encoding (bundle loading guarantees this
-// for bundle-backed metrics). Cancelling ctx abandons the sweep and
+// resolveRange validates the configured [Start, End) window against
+// the space size and resolves the zero-value defaults (End == 0 means
+// size). Errors name the offending Config field.
+func (c Config) resolveRange(size int) (start, end int, err error) {
+	start, end = c.Start, c.End
+	if end == 0 {
+		end = size
+	}
+	switch {
+	case start < 0:
+		return 0, 0, fmt.Errorf("sweep: Config.Start %d is negative", c.Start)
+	case c.End < 0:
+		return 0, 0, fmt.Errorf("sweep: Config.End %d is negative", c.End)
+	case end > size:
+		return 0, 0, fmt.Errorf("sweep: Config.End %d exceeds the space's %d points", c.End, size)
+	case end < start:
+		if c.End == 0 {
+			// The caller never set End; the actual defect is Start.
+			return 0, 0, fmt.Errorf("sweep: Config.Start %d exceeds the space's %d points", start, size)
+		}
+		return 0, 0, fmt.Errorf("sweep: Config.End %d is before Config.Start %d", end, start)
+	case end == start:
+		return 0, 0, fmt.Errorf("sweep: Config range [%d,%d) is empty", start, end)
+	}
+	return start, end, nil
+}
+
+// Run sweeps every point of sp — or the [Config.Start, Config.End)
+// shard of it — through the metric set and reduces the stream into
+// per-metric top-k leaderboards and the Pareto frontier. The encoder
+// is derived from sp, so the metric set's ensembles must have been
+// trained on sp's encoding (bundle loading guarantees this for
+// bundle-backed metrics). Cancelling ctx abandons the sweep and
 // returns the context's error.
 func Run(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg Config) (*Result, error) {
+	start := time.Now()
+	p, err := RunPartial(ctx, sp, set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := p.Result()
+	res.Elapsed = time.Since(start)
+	res.PointsPerSec = float64(res.Points) / res.Elapsed.Seconds()
+	return res, nil
+}
+
+// RunPartial is the sharded engine entry point: it sweeps the
+// [Config.Start, Config.End) range and returns the serializable
+// partial reduction instead of a finished result document. Partials
+// over adjacent ranges merge associatively (see Partial.Merge), and
+// because chunk boundaries are absolute ChunkSize multiples, a
+// shard's reduction is a byte-exact sub-reduction of the full run —
+// merging every shard in range order reproduces Run bit for bit.
+func RunPartial(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg Config) (*Partial, error) {
 	if sp == nil || set == nil {
 		return nil, fmt.Errorf("sweep: need both a space and a metric set")
 	}
@@ -126,13 +182,20 @@ func Run(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg Config) 
 		chunk = DefaultChunkSize
 	}
 	if chunk < 1 {
-		return nil, fmt.Errorf("sweep: chunk size %d is not positive", cfg.ChunkSize)
+		return nil, fmt.Errorf("sweep: Config.ChunkSize %d is not positive", cfg.ChunkSize)
+	}
+	first, last, err := cfg.resolveRange(sp.Size())
+	if err != nil {
+		return nil, err
 	}
 	topk := cfg.TopK
 	if topk == 0 {
 		topk = DefaultTopK
 	}
-	if topk > sp.Size() {
+	switch {
+	case topk < 0:
+		topk = 0 // frontier only
+	case topk > sp.Size():
 		topk = sp.Size()
 	}
 	maxFrontier := cfg.MaxFrontier
@@ -140,8 +203,12 @@ func Run(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg Config) 
 		maxFrontier = DefaultMaxFrontier
 	}
 
-	size := sp.Size()
-	nchunks := (size + chunk - 1) / chunk
+	// Chunk ids are absolute: chunk c always covers [c·chunk,
+	// (c+1)·chunk) ∩ [first, last), whatever the range, so every shard
+	// reduces the same per-chunk pieces the full run would.
+	total := last - first
+	firstChunk := first / chunk
+	nchunks := (last-1)/chunk - firstChunk + 1
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -155,11 +222,10 @@ func Run(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg Config) 
 
 	metrics := set.Metrics()
 	minimize := set.Minimize()
-	start := time.Now()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make(chan partial, workers)
+	results := make(chan chunkPart, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -175,18 +241,19 @@ func Run(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg Config) 
 			}
 			vbuf := make([]float64, len(metrics))
 			for {
-				c := int(next.Add(1)) - 1
-				if c >= nchunks || ctx.Err() != nil {
+				c := firstChunk + int(next.Add(1)) - 1
+				if c >= firstChunk+nchunks || ctx.Err() != nil {
 					return
 				}
-				lo := c * chunk
-				rows := min(chunk, size-lo)
+				lo := max(first, c*chunk)
+				hi := min(last, (c+1)*chunk)
+				rows := hi - lo
 				enc.EncodeRange(lo, rows, xs[:rows*width])
 				for m := range cols {
 					view[m] = cols[m][:rows]
 				}
 				set.Eval(xs[:rows*width], rows, view)
-				p := partial{id: c, rows: rows, front: newFrontier(minimize)}
+				p := chunkPart{id: c - firstChunk, rows: rows, front: newFrontier(minimize)}
 				for m := range metrics {
 					p.tops = append(p.tops, newTopK(m, minimize[m], topk))
 				}
@@ -208,18 +275,18 @@ func Run(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg Config) 
 		}()
 	}
 
-	// Ordered reduction: partials may arrive in any order, but merge
-	// strictly by chunk id, so progress is monotone and the merge
+	// Ordered reduction: chunk pieces may arrive in any order, but
+	// merge strictly by chunk id, so progress is monotone and the merge
 	// sequence is one fixed function of the space — not of scheduling.
 	front := newFrontier(minimize)
 	var tops []*topK
 	for m := range metrics {
 		tops = append(tops, newTopK(m, minimize[m], topk))
 	}
-	pending := make(map[int]partial, workers)
+	pending := make(map[int]chunkPart, workers)
 	reduced, scored := 0, 0
 	for reduced < nchunks {
-		var p partial
+		var p chunkPart
 		select {
 		case p = <-results:
 		case <-ctx.Done():
@@ -242,33 +309,33 @@ func Run(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg Config) 
 				cancel()
 				wg.Wait()
 				return nil, fmt.Errorf("sweep: Pareto frontier exceeds %d points after %d of %d swept — the metric set is likely degenerate (one axis both maximized and minimized); raise Config.MaxFrontier (negative = unbounded) if the frontier is genuinely this large",
-					maxFrontier, scored+q.rows, size)
+					maxFrontier, scored+q.rows, total)
 			}
 			scored += q.rows
 			reduced++
 			if cfg.OnProgress != nil {
-				cfg.OnProgress(scored, size)
+				cfg.OnProgress(scored, total)
 			}
 		}
 	}
 	wg.Wait()
 
-	res := &Result{
+	out := &Partial{
 		Space:    sp.Name,
-		Points:   size,
+		Start:    first,
+		End:      last,
+		K:        topk,
 		Frontier: front.sorted(),
-		Elapsed:  time.Since(start),
 	}
 	for _, m := range metrics {
-		res.Metrics = append(res.Metrics, MetricInfo{Name: m.Name, Minimize: m.Minimize})
+		out.Metrics = append(out.Metrics, MetricInfo{Name: m.Name, Minimize: m.Minimize})
 	}
 	if topk > 0 {
 		for _, t := range tops {
-			res.TopK = append(res.TopK, t.ranked())
+			out.TopK = append(out.TopK, t.ranked())
 		}
 	}
-	res.PointsPerSec = float64(size) / res.Elapsed.Seconds()
-	return res, nil
+	return out, nil
 }
 
 // Reference computes the same reduction by materializing and scoring
