@@ -1,0 +1,49 @@
+package loadsim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkLoadgenSoak is the harness-throughput benchmark the CI gate
+// reads: a full 24h-equivalent diurnal soak — maintenance window,
+// surge, and a mid-run sweep included — compressed through the
+// simulated clock against a stub node, so the number measures the
+// generator itself (schedule synthesis, dispatch, timeline
+// aggregation, HTTP round trips), not model inference. Reports req/s
+// of wall throughput and x-compression (simulated seconds per wall
+// second).
+func BenchmarkLoadgenSoak(b *testing.B) {
+	target, _ := stubTarget(b, 4096, 0)
+	const dur = 24 * time.Hour
+	pattern := mustPattern(b, "diurnal:base=1,peak=3", dur)
+	events := mustEvents(b, "maint@12h+30m;sweep@6h:rows=1024;surge@18h+1h:mult=2", dur)
+	b.ResetTimer()
+	var done int
+	var wall, sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), Config{
+			Targets:  []string{target},
+			Pattern:  pattern,
+			Events:   events,
+			Duration: dur,
+			Interval: time.Hour,
+			Seed:     42,
+			Workers:  16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Errors != 0 {
+			b.Fatalf("soak errored: %+v", res.Summary)
+		}
+		done += res.Summary.Done
+		wall += res.Summary.WallSecs
+		sim += res.Summary.SimSecs
+	}
+	if wall > 0 {
+		b.ReportMetric(float64(done)/wall, "req/s")
+		b.ReportMetric(sim/wall, "x-compression")
+	}
+}

@@ -1,0 +1,95 @@
+package loadsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock paces dispatch. It maps *simulated* offsets (the schedule's
+// time axis) onto waiting behavior; it never influences what is
+// scheduled, only when the next scheduled item is released. That
+// one-way dependency is the harness's core invariant: the schedule is
+// identical under every clock and every time scale.
+type Clock interface {
+	// WaitUntil blocks until simulated offset t is reached (or ctx is
+	// done). It returns immediately if t is already past.
+	WaitUntil(ctx context.Context, t time.Duration) error
+	// Now reports the current simulated offset.
+	Now() time.Duration
+	// Mode names the clock for reports ("real" or "simulated").
+	Mode() string
+}
+
+// NewClock builds a clock. mode is "real" (wall pacing, with simulated
+// time running scale× faster than wall time — scale 60 plays 24 hours
+// of traffic in 24 minutes) or "simulated" (no pacing at all: dispatch
+// is released as fast as the targets absorb it, and simulated time
+// jumps straight to each scheduled offset; scale is accepted and
+// irrelevant, which the clock-parity tests prove).
+func NewClock(mode string, scale float64) (Clock, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("loadsim: -time-scale must be positive, got %g", scale)
+	}
+	switch mode {
+	case "real":
+		return &realClock{start: time.Now(), scale: scale}, nil
+	case "simulated":
+		return &simClock{}, nil
+	}
+	return nil, fmt.Errorf("loadsim: unknown clock %q (want real|simulated)", mode)
+}
+
+// realClock paces against the wall: simulated offset t arrives at wall
+// time start + t/scale.
+type realClock struct {
+	start time.Time
+	scale float64
+}
+
+func (c *realClock) Mode() string { return "real" }
+
+func (c *realClock) Now() time.Duration {
+	return time.Duration(float64(time.Since(c.start)) * c.scale)
+}
+
+func (c *realClock) WaitUntil(ctx context.Context, t time.Duration) error {
+	wall := c.start.Add(time.Duration(float64(t) / c.scale))
+	d := time.Until(wall)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// simClock never sleeps; simulated time is simply the furthest offset
+// anything has waited for.
+type simClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *simClock) Mode() string { return "simulated" }
+
+func (c *simClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *simClock) WaitUntil(ctx context.Context, t time.Duration) error {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+	return ctx.Err()
+}

@@ -1,0 +1,129 @@
+package loadsim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// randomSpec draws a pattern and event spec from a small grammar —
+// enough variety to exercise every pattern kind, every event kind, and
+// composite curves, with rates low enough that a run stays cheap.
+func randomSpec(rng *stats.RNG, dur time.Duration) (pattern, events string) {
+	terms := []string{
+		fmt.Sprintf("constant:rate=%g", 0.2+rng.Float64()),
+		fmt.Sprintf("ramp:from=%g,to=%g", rng.Float64(), 0.5+rng.Float64()),
+		fmt.Sprintf("diurnal:base=%g,peak=%g,period=%s", 0.1+rng.Float64()/2, 0.5+rng.Float64(), dur),
+		fmt.Sprintf("spike:base=%g,peak=%g,at=%s,width=%s", rng.Float64()/2, 1+rng.Float64(), dur/4, dur/10),
+	}
+	pattern = terms[rng.Intn(len(terms))]
+	if rng.Intn(2) == 1 {
+		pattern += "+" + terms[rng.Intn(len(terms))]
+	}
+	switch rng.Intn(4) {
+	case 0:
+		events = fmt.Sprintf("maint@%s+%s", dur/3, dur/12)
+	case 1:
+		events = fmt.Sprintf("surge@%s+%s:mult=%d;sweep@%s:rows=8", dur/2, dur/10, 2+rng.Intn(3), dur/5)
+	case 2:
+		events = fmt.Sprintf("sweep@%s:rows=16;sweep@%s:rows=4;maint@%s+%s", dur/6, 2*dur/3, dur/2, dur/20)
+	}
+	return pattern, events
+}
+
+// TestClockParityAcrossTimeScales is the clock-abstraction property
+// test: for random seeds, patterns, and event schedules, the harness
+// produces the exact same request schedule — arrival offsets (bucketed
+// at fine grain), pattern phase, and scheduled-event firing order —
+// under the simulated clock at any -time-scale, under different worker
+// counts, and under a heavily compressed real clock; and it matches
+// the pure schedule enumerated without any clock at all.
+func TestClockParityAcrossTimeScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run parity sweep; skipped with -short")
+	}
+	const dur = time.Hour
+	const interval = time.Minute // fine buckets: 60-point fingerprint of offsets and phase
+	metaRNG := stats.NewRNG(0xC10C)
+	for trial := 0; trial < 4; trial++ {
+		seed := metaRNG.Uint64()
+		patternSpec, eventSpec := randomSpec(metaRNG, dur)
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			target, _ := stubTarget(t, 4096, 0)
+			pattern := mustPattern(t, patternSpec, dur)
+			events := mustEvents(t, eventSpec, dur)
+
+			run := func(clockMode string, scale float64, workers int) string {
+				clock, err := NewClock(clockMode, scale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(context.Background(), Config{
+					Targets:  []string{target},
+					Pattern:  pattern,
+					Events:   events,
+					Duration: dur,
+					Interval: interval,
+					Seed:     seed,
+					Workers:  workers,
+					Clock:    clock,
+				})
+				if err != nil {
+					t.Fatalf("%s clock ×%g: %v", clockMode, scale, err)
+				}
+				var buf bytes.Buffer
+				if err := res.Timeline.WriteCSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return StripWallColumns(buf.String())
+			}
+
+			ref := run("simulated", 1, 8)
+			for _, scale := range []float64{12, 720} {
+				if got := run("simulated", scale, 8); got != ref {
+					t.Fatalf("simulated clock at time-scale %g diverges from time-scale 1:\n%s\nvs\n%s", scale, got, ref)
+				}
+			}
+			if got := run("simulated", 1, 32); got != ref {
+				t.Fatalf("worker count changed the schedule:\n%s\nvs\n%s", got, ref)
+			}
+			// A real clock compressed to ~100ms of wall time must release
+			// the identical schedule, just paced.
+			if got := run("real", 36000, 8); got != ref {
+				t.Fatalf("real clock at time-scale 36000 diverges:\n%s\nvs\n%s", got, ref)
+			}
+
+			// The pure schedule (no clock, no network) predicts the same
+			// per-bucket offered counts and event markers.
+			arrivals, evs, err := CollectSchedule(seed, pattern, events, DefaultMix(), dur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tl, err := NewTimeline(dur, interval)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range arrivals {
+				tl.bucketFor(a.At).Offered++
+			}
+			for _, ev := range evs {
+				b := tl.bucketFor(ev.At)
+				b.Events = append(b.Events, ev.String())
+				if ev.Kind == EventSweep {
+					b.Offered++
+				}
+			}
+			var buf bytes.Buffer
+			if err := tl.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if got := StripWallColumns(buf.String()); got != ref {
+				t.Fatalf("runner timeline disagrees with the pure schedule:\n%s\nvs\n%s", ref, got)
+			}
+		})
+	}
+}

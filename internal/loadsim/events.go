@@ -1,0 +1,192 @@
+package loadsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EventKind names a scheduled event.
+type EventKind string
+
+const (
+	// EventMaint is a maintenance window: offered load drops to zero for
+	// the window — the client-side view of "we drained this node on
+	// purpose".
+	EventMaint EventKind = "maint"
+	// EventSurge multiplies the pattern's rate inside its window —
+	// a flash crowd layered on whatever curve is running.
+	EventSurge EventKind = "surge"
+	// EventSweep fires one heavy batch-prediction request (a mid-run
+	// batch sweep sharing the serving path with interactive traffic).
+	EventSweep EventKind = "sweep"
+)
+
+// Event is one scheduled occurrence in simulated time.
+type Event struct {
+	Kind EventKind
+	At   time.Duration // simulated offset of the start
+	Dur  time.Duration // window length (maint/surge); 0 for point events
+	Mult float64       // surge rate multiplier
+	Rows int           // sweep batch size (design points per request)
+}
+
+// String renders the event in spec form.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s@%s", e.Kind, e.At)
+	if e.Dur > 0 {
+		s += "+" + e.Dur.String()
+	}
+	switch e.Kind {
+	case EventSurge:
+		s += ":mult=" + strconv.FormatFloat(e.Mult, 'g', -1, 64)
+	case EventSweep:
+		s += ":rows=" + strconv.Itoa(e.Rows)
+	}
+	return s
+}
+
+// maxSweepRows bounds one sweep event's batch request; it matches the
+// serve tier's own per-request row limit.
+const maxSweepRows = 65536
+
+// ParseEvents parses a schedule of events: ";"-separated entries of the
+// form kind@at[+dur][:key=value,...]:
+//
+//	maint@12h+30m              load gated to zero for 30 simulated minutes
+//	surge@18h+10m:mult=3       rate tripled for 10 simulated minutes
+//	sweep@6h:rows=2048         one 2048-point batch sweep at 6h
+//
+// Events must start inside [0, dur). The returned slice is sorted by
+// start time (ties keep spec order), which is also firing order.
+func ParseEvents(spec string, dur time.Duration) ([]Event, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	if dur <= 0 {
+		return nil, fmt.Errorf("loadsim: events need a positive run duration, got %v", dur)
+	}
+	var events []Event
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		ev, err := parseEvent(entry, dur)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}
+
+func parseEvent(entry string, dur time.Duration) (Event, error) {
+	head, args, hasArgs := strings.Cut(entry, ":")
+	kindStr, when, ok := strings.Cut(head, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("loadsim: event %q: want kind@time[+window]", entry)
+	}
+	ev := Event{Kind: EventKind(kindStr)}
+	atStr, durStr, hasWindow := strings.Cut(when, "+")
+	at, err := time.ParseDuration(atStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("loadsim: event %q: bad start time %q: %v", entry, atStr, err)
+	}
+	if at < 0 || at >= dur {
+		return Event{}, fmt.Errorf("loadsim: event %q starts at %v, outside the run [0,%v)", entry, at, dur)
+	}
+	ev.At = at
+	if hasWindow {
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return Event{}, fmt.Errorf("loadsim: event %q: bad window %q: %v", entry, durStr, err)
+		}
+		if d <= 0 {
+			return Event{}, fmt.Errorf("loadsim: event %q: window must be positive, got %v", entry, d)
+		}
+		ev.Dur = d
+	}
+	kv := kvMap{}
+	if hasArgs {
+		kv, err = parseKV(args)
+		if err != nil {
+			return Event{}, fmt.Errorf("loadsim: event %q: %v", entry, err)
+		}
+	}
+	switch ev.Kind {
+	case EventMaint:
+		if ev.Dur == 0 {
+			return Event{}, fmt.Errorf("loadsim: event %q: maint needs a +window", entry)
+		}
+	case EventSurge:
+		if ev.Dur == 0 {
+			return Event{}, fmt.Errorf("loadsim: event %q: surge needs a +window", entry)
+		}
+		ev.Mult, err = kv.rate("mult", 2)
+		if err != nil {
+			return Event{}, err
+		}
+		if ev.Mult <= 0 {
+			return Event{}, fmt.Errorf("loadsim: event %q: mult must be positive, got %g", entry, ev.Mult)
+		}
+		delete(kv, "mult")
+	case EventSweep:
+		if ev.Dur != 0 {
+			return Event{}, fmt.Errorf("loadsim: event %q: sweep is a point event, drop the +window", entry)
+		}
+		rows, err := kv.rate("rows", 2048)
+		if err != nil {
+			return Event{}, err
+		}
+		if rows < 1 || rows > maxSweepRows || rows != float64(int(rows)) {
+			return Event{}, fmt.Errorf("loadsim: event %q: rows must be an integer in [1,%d], got %g", entry, maxSweepRows, rows)
+		}
+		ev.Rows = int(rows)
+		delete(kv, "rows")
+	default:
+		return Event{}, fmt.Errorf("loadsim: event %q: unknown kind %q (want maint|surge|sweep)", entry, ev.Kind)
+	}
+	if len(kv) > 0 {
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return Event{}, fmt.Errorf("loadsim: event %q: unknown key(s) %v", entry, keys)
+	}
+	return ev, nil
+}
+
+// rateMult is the windowed events' combined rate multiplier at t:
+// maintenance zeroes the rate, surges multiply it (overlapping surges
+// compound).
+func rateMult(events []Event, t time.Duration) float64 {
+	mult := 1.0
+	for _, ev := range events {
+		if t < ev.At || t >= ev.At+ev.Dur {
+			continue
+		}
+		switch ev.Kind {
+		case EventMaint:
+			return 0
+		case EventSurge:
+			mult *= ev.Mult
+		}
+	}
+	return mult
+}
+
+// maxRateMult bounds the combined multiplier for the thinning envelope.
+func maxRateMult(events []Event) float64 {
+	mult := 1.0
+	for _, ev := range events {
+		if ev.Kind == EventSurge && ev.Mult > 1 {
+			mult *= ev.Mult // compounding overlap is the worst case
+		}
+	}
+	return mult
+}

@@ -1,0 +1,124 @@
+package loadsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzPatternSpec throws arbitrary spec strings at the pattern parser.
+// Anything that parses must be a well-formed intensity curve: strictly
+// positive finite envelope, non-negative finite rates bounded by the
+// envelope, and a canonical Spec() that re-parses to the same curve —
+// the round trip loadgen prints into run reports.
+func FuzzPatternSpec(f *testing.F) {
+	f.Add("soak")
+	f.Add("diurnal:base=40,peak=160,period=24h")
+	f.Add("ramp:from=0,to=400,over=12h+spike:base=0,peak=500,at=6h,width=30m")
+	f.Add("constant:rate=1e5")
+	f.Add("spike:peak=0.0001,at=59m,width=1s")
+	f.Fuzz(func(t *testing.T, spec string) {
+		const dur = time.Hour
+		p, err := ParsePattern(spec, dur)
+		if err != nil {
+			return
+		}
+		max := p.MaxRate()
+		if !(max > 0) || math.IsInf(max, 0) || max > maxPatternRate*8 {
+			t.Fatalf("%q: degenerate envelope %g", spec, max)
+		}
+		for i := 0; i <= 16; i++ {
+			at := dur * time.Duration(i) / 16
+			r := p.Rate(at)
+			if r < 0 || math.IsNaN(r) || r > max*(1+1e-9) {
+				t.Fatalf("%q: Rate(%v)=%g outside [0, %g]", spec, at, r, max)
+			}
+		}
+		q, err := ParsePattern(p.Spec(), dur)
+		if err != nil {
+			t.Fatalf("%q: canonical spec %q does not re-parse: %v", spec, p.Spec(), err)
+		}
+		for i := 0; i <= 16; i++ {
+			at := dur * time.Duration(i) / 16
+			a, b := p.Rate(at), q.Rate(at)
+			if a != b && math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+				t.Fatalf("%q: canonical %q disagrees at %v: %g vs %g", spec, p.Spec(), at, a, b)
+			}
+		}
+	})
+}
+
+// FuzzEventSpec fuzzes the scheduled-event parser: parsed events must
+// be sorted, confined to the run, and survive a String() round trip.
+func FuzzEventSpec(f *testing.F) {
+	f.Add("maint@12h+30m")
+	f.Add("surge@18h+1h:mult=2;sweep@6h:rows=1024")
+	f.Add("sweep@0s;sweep@23h:rows=1;maint@1h+0s")
+	f.Fuzz(func(t *testing.T, spec string) {
+		const dur = 24 * time.Hour
+		evs, err := ParseEvents(spec, dur)
+		if err != nil {
+			return
+		}
+		var specs []string
+		for i, ev := range evs {
+			if ev.At < 0 || ev.At >= dur || ev.Dur < 0 {
+				t.Fatalf("%q: event %d outside the run: %+v", spec, i, ev)
+			}
+			if i > 0 && ev.At < evs[i-1].At {
+				t.Fatalf("%q: events not sorted at %d", spec, i)
+			}
+			specs = append(specs, ev.String())
+		}
+		back, err := ParseEvents(strings.Join(specs, ";"), dur)
+		if err != nil {
+			t.Fatalf("%q: canonical form %v does not re-parse: %v", spec, specs, err)
+		}
+		if len(back) != len(evs) {
+			t.Fatalf("%q: round trip changed event count: %d vs %d", spec, len(back), len(evs))
+		}
+		for i := range evs {
+			if back[i] != evs[i] {
+				t.Fatalf("%q: event %d changed across round trip: %+v vs %+v", spec, i, evs[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzSLOSpec fuzzes the SLO clause parser: parsed clauses must carry
+// known metrics, finite non-negative thresholds, and evaluate without
+// panicking against adversarial summaries.
+func FuzzSLOSpec(f *testing.F) {
+	f.Add("p99<50ms,error_rate<0.1%", 12.5)
+	f.Add("completion>99.9%, wall_rps>100, coalesce_batch>=2", 0.0)
+	f.Add("mean<=1500us,max<2s,p50<1ms,p95<10ms", -3.0)
+	f.Fuzz(func(t *testing.T, spec string, measured float64) {
+		slo, err := ParseSLO(spec)
+		if err != nil {
+			return
+		}
+		for _, c := range slo.Clauses {
+			if _, ok := sloMetrics[c.Metric]; !ok {
+				t.Fatalf("%q: clause %q carries unknown metric %q", spec, c.Raw, c.Metric)
+			}
+			if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) || c.Value < 0 {
+				t.Fatalf("%q: clause %q has bad threshold %g", spec, c.Raw, c.Value)
+			}
+		}
+		s := Summary{
+			Offered: 1, Done: 1,
+			ErrorRate: measured, Complete: measured,
+			P50MS: measured, P95MS: measured, P99MS: measured,
+			MaxMS: measured, MeanMS: measured,
+			WallRPS: measured, Coalesce: measured,
+		}
+		rep := slo.Evaluate(s)
+		if len(rep.Checked) != len(slo.Clauses) {
+			t.Fatalf("%q: evaluated %d of %d clauses", spec, len(rep.Checked), len(slo.Clauses))
+		}
+		if rep.Pass != (len(rep.Violations) == 0) {
+			t.Fatalf("%q: pass flag disagrees with violations: %+v", spec, rep)
+		}
+	})
+}

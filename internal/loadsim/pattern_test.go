@@ -1,0 +1,261 @@
+package loadsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePatternShapes(t *testing.T) {
+	dur := 24 * time.Hour
+	cases := []struct {
+		spec string
+		at   time.Duration
+		want float64
+	}{
+		{"constant:rate=100", 5 * time.Hour, 100},
+		{"ramp:from=0,to=100,over=10h", 5 * time.Hour, 50},
+		{"ramp:from=0,to=100,over=10h", 20 * time.Hour, 100}, // holds after the ramp
+		{"diurnal:base=40,peak=160,period=24h", 0, 40},       // trough at start
+		{"diurnal:base=40,peak=160,period=24h", 12 * time.Hour, 160},
+		{"spike:base=50,peak=500,at=12h,width=1h", 12*time.Hour + 30*time.Minute, 500},
+		{"spike:base=50,peak=500,at=12h,width=1h", 14 * time.Hour, 50},
+		{"constant:rate=10+constant:rate=5", time.Hour, 15}, // composite adds
+	}
+	for _, c := range cases {
+		p := mustPattern(t, c.spec, dur)
+		if got := p.Rate(c.at); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s at %v: got rate %g, want %g", c.spec, c.at, got, c.want)
+		}
+		if p.MaxRate() < p.Rate(c.at) {
+			t.Errorf("%s: MaxRate %g below Rate(%v)=%g", c.spec, p.MaxRate(), c.at, p.Rate(c.at))
+		}
+	}
+}
+
+func TestParsePatternPresetsAndSpecRoundTrip(t *testing.T) {
+	dur := 6 * time.Hour
+	for _, spec := range []string{"soak", "ramp", "spike", "diurnal", "diurnal:base=2,peak=9+spike:base=0,peak=50,at=1h,width=5m"} {
+		p := mustPattern(t, spec, dur)
+		// The canonical spec must reproduce the same curve.
+		q, err := ParsePattern(p.Spec(), dur)
+		if err != nil {
+			t.Fatalf("%s: canonical spec %q does not re-parse: %v", spec, p.Spec(), err)
+		}
+		for _, at := range []time.Duration{0, time.Minute, time.Hour, 3 * time.Hour, dur - time.Second} {
+			if p.Rate(at) != q.Rate(at) {
+				t.Fatalf("%s: re-parsed %q disagrees at %v: %g vs %g", spec, p.Spec(), at, p.Rate(at), q.Rate(at))
+			}
+		}
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	dur := time.Hour
+	for _, spec := range []string{
+		"", "wat", "constant:rate=-5", "constant:rate=nope",
+		"constant:rate=0",              // never offers load
+		"constant:rate=1e12",           // over the cap
+		"ramp:from=1,to=2,over=-1h",    // bad window
+		"diurnal:base=1,peak=2,wat=3",  // unknown key
+		"constant:rate=5,rate=6",       // duplicate key
+		"spike:base=1,peak=2,width=0s", // empty window
+	} {
+		if _, err := ParsePattern(spec, dur); err == nil {
+			t.Errorf("spec %q parsed, want error", spec)
+		}
+	}
+	if _, err := ParsePattern("constant:rate=1", 0); err == nil {
+		t.Error("zero duration parsed, want error")
+	}
+}
+
+func TestParseEventsOrderingAndErrors(t *testing.T) {
+	dur := 24 * time.Hour
+	evs := mustEvents(t, "sweep@18h;maint@2h+30m;surge@2h+1h:mult=3", dur)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != EventMaint || evs[1].Kind != EventSurge || evs[2].Kind != EventSweep {
+		t.Fatalf("events not sorted by start (spec order for ties): %+v", evs)
+	}
+	// maint zeroes, surge multiplies, outside windows nothing happens.
+	if m := rateMult(evs, 2*time.Hour+10*time.Minute); m != 0 {
+		t.Errorf("inside maint window: mult %g, want 0", m)
+	}
+	if m := rateMult(evs, 2*time.Hour+45*time.Minute); m != 3 {
+		t.Errorf("inside surge window (maint over): mult %g, want 3", m)
+	}
+	if m := rateMult(evs, 12*time.Hour); m != 1 {
+		t.Errorf("outside windows: mult %g, want 1", m)
+	}
+
+	for _, spec := range []string{
+		"wat@1h", "maint@1h", "maint@25h+1h", "maint@-1h+1h", "sweep@1h+1h",
+		"sweep@1h:rows=0", "sweep@1h:rows=1e9", "surge@1h+1m:mult=0", "maint@1h+1m:wat=1",
+	} {
+		if _, err := ParseEvents(spec, dur); err == nil {
+			t.Errorf("event spec %q parsed, want error", spec)
+		}
+	}
+	if evs, err := ParseEvents("  ", dur); err != nil || evs != nil {
+		t.Errorf("blank event spec: got %v, %v; want nil, nil", evs, err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("predict=80,batch=15,variance=5,rows=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict != 80 || m.Batch != 15 || m.Variance != 5 || m.BatchRows != 16 {
+		t.Fatalf("unexpected mix: %+v", m)
+	}
+	if _, err := ParseMix("predict=0,batch=0,variance=0"); err == nil {
+		t.Error("all-zero mix parsed, want error")
+	}
+	if _, err := ParseMix("predict=1,wat=2"); err == nil {
+		t.Error("unknown mix key parsed, want error")
+	}
+	if got := DefaultMix(); got.Predict <= 0 || got.BatchRows <= 0 {
+		t.Fatalf("default mix degenerate: %+v", got)
+	}
+}
+
+func TestScheduleDeterministicAndShaped(t *testing.T) {
+	dur := 4 * time.Hour
+	p := mustPattern(t, "diurnal:base=0.5,peak=4,period=4h", dur)
+	evs := mustEvents(t, "maint@1h+30m", dur)
+	a1, e1, err := CollectSchedule(99, p, evs, DefaultMix(), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, e2, err := CollectSchedule(99, p, evs, DefaultMix(), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) == 0 {
+		t.Fatal("schedule is empty")
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+	if len(e1) != len(e2) || e1[0] != e2[0] {
+		t.Fatalf("events differ: %v vs %v", e1, e2)
+	}
+
+	var inMaint int
+	last := time.Duration(-1)
+	for _, a := range a1 {
+		if a.At <= last {
+			t.Fatalf("arrivals not strictly increasing at index %d", a.Index)
+		}
+		last = a.At
+		if a.At < 0 || a.At >= dur {
+			t.Fatalf("arrival %d outside the run: %v", a.Index, a.At)
+		}
+		if a.At >= time.Hour && a.At < 90*time.Minute {
+			inMaint++
+		}
+		if a.Kind == ReqBatch && a.Rows != DefaultMix().BatchRows {
+			t.Fatalf("batch arrival has %d rows, want %d", a.Rows, DefaultMix().BatchRows)
+		}
+	}
+	if inMaint != 0 {
+		t.Fatalf("%d arrivals inside the maintenance window", inMaint)
+	}
+	// A different seed reshuffles the arrivals.
+	b1, _, err := CollectSchedule(100, p, evs, DefaultMix(), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == len(a1) {
+		same := true
+		for i := range a1 {
+			if a1[i].At != b1[i].At {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced the identical schedule")
+		}
+	}
+}
+
+func TestScheduleTracksPatternRate(t *testing.T) {
+	// Poisson thinning must reproduce the pattern's intensity: over a
+	// long constant window the arrival count concentrates near rate*dur.
+	dur := 2 * time.Hour
+	p := mustPattern(t, "constant:rate=2", dur)
+	arrivals, _, err := CollectSchedule(7, p, nil, DefaultMix(), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * dur.Seconds()
+	got := float64(len(arrivals))
+	if math.Abs(got-want) > 6*math.Sqrt(want) { // ±6σ
+		t.Fatalf("constant rate 2/s over %v: %g arrivals, want ≈%g", dur, got, want)
+	}
+}
+
+func TestParseSLOAndEvaluate(t *testing.T) {
+	slo, err := ParseSLO("p99<50ms, error_rate<0.5%, completion>99%, wall_rps>10, coalesce_batch>=2, mean<=1.5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slo.Clauses) != 6 {
+		t.Fatalf("got %d clauses, want 6", len(slo.Clauses))
+	}
+	if v := slo.Clauses[0].Value; v != 50 {
+		t.Fatalf("p99 threshold: got %g ms, want 50", v)
+	}
+	if v := slo.Clauses[1].Value; v != 0.005 {
+		t.Fatalf("error_rate threshold: got %g, want 0.005", v)
+	}
+	good := Summary{P99MS: 20, ErrorRate: 0.001, Complete: 0.995, WallRPS: 100, Coalesce: 4, MeanMS: 1.2}
+	if rep := slo.Evaluate(good); !rep.Pass || len(rep.Violations) != 0 {
+		t.Fatalf("good summary failed: %+v", rep)
+	}
+	bad := good
+	bad.P99MS = 80
+	bad.ErrorRate = 0.01
+	rep := slo.Evaluate(bad)
+	if rep.Pass || len(rep.Violations) != 2 {
+		t.Fatalf("want exactly the p99 and error_rate violations, got %+v", rep)
+	}
+	if rep.Violations[0].Metric != "p99" || rep.Violations[0].Measured != 80 {
+		t.Fatalf("violation names the wrong clause: %+v", rep.Violations[0])
+	}
+
+	for _, spec := range []string{"p99", "p99<", "wat<5", "p99<-5ms", "p99!5"} {
+		if _, err := ParseSLO(spec); err == nil {
+			t.Errorf("SLO spec %q parsed, want error", spec)
+		}
+	}
+	empty, err := ParseSLO("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := empty.Evaluate(Summary{}); !rep.Pass {
+		t.Fatal("empty SLO must always pass")
+	}
+}
+
+func TestStripWallColumns(t *testing.T) {
+	csv := strings.Join([]string{
+		"bucket,offered,events,done,errors,error_rate,achieved_rps,p50_ms,p95_ms,p99_ms,max_ms,coalesce_batch",
+		"0s,10,,10,0,0,1,1,2,3,4,5",
+		"1h0m0s,20,maint@1h0m0s+30m0s,15,5,0.25,1.5,1,2,3,4,5",
+	}, "\n") + "\n"
+	want := "bucket,offered,events\n0s,10,\n1h0m0s,20,maint@1h0m0s+30m0s\n"
+	if got := StripWallColumns(csv); got != want {
+		t.Fatalf("StripWallColumns:\n got %q\nwant %q", got, want)
+	}
+}

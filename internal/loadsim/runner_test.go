@@ -1,0 +1,157 @@
+package loadsim
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunnerErrorAccountingAndSLOGate drives a stub that fails every
+// 5th request and checks that the error rate lands near 20%, that a
+// tight SLO fails with the offending clauses named, and that a loose
+// SLO passes — the exact mechanism the CI gate rides on.
+func TestRunnerErrorAccountingAndSLOGate(t *testing.T) {
+	target, served := stubTarget(t, 512, 5)
+	dur := time.Hour
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{target},
+		Pattern:  mustPattern(t, "constant:rate=1", dur),
+		Duration: dur,
+		Interval: 10 * time.Minute,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() == 0 {
+		t.Fatal("stub served nothing")
+	}
+	s := res.Summary
+	if s.Offered == 0 || s.Done+s.Errors != s.Offered {
+		t.Fatalf("accounting broken: %+v", s)
+	}
+	if s.ErrorRate < 0.15 || s.ErrorRate > 0.25 {
+		t.Fatalf("error rate %g, want ≈0.20 (every 5th request fails)", s.ErrorRate)
+	}
+	if res.Outcomes[OutcomeHTTPError] != s.Errors {
+		t.Fatalf("outcomes disagree with summary: %v vs %d errors", res.Outcomes, s.Errors)
+	}
+
+	tight, err := ParseSLO("error_rate<0.5%, completion>99%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tight.Evaluate(s)
+	if rep.Pass || len(rep.Violations) != 2 {
+		t.Fatalf("tight SLO must fail both clauses: %+v", rep)
+	}
+	var names []string
+	for _, v := range rep.Violations {
+		names = append(names, v.Metric)
+	}
+	if got := strings.Join(names, ","); got != "error_rate,completion" {
+		t.Fatalf("violations name %q, want error_rate,completion", got)
+	}
+	loose, err := ParseSLO("error_rate<30%, completion>70%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := loose.Evaluate(s); !rep.Pass {
+		t.Fatalf("loose SLO failed: %+v", rep)
+	}
+}
+
+// TestRunnerMultiTargetRoundRobin fans one schedule across two stubs
+// and checks both actually serve traffic.
+func TestRunnerMultiTargetRoundRobin(t *testing.T) {
+	t1, served1 := stubTarget(t, 256, 0)
+	t2, served2 := stubTarget(t, 256, 0)
+	dur := 30 * time.Minute
+	res, err := Run(context.Background(), Config{
+		Targets:  []string{t1, t2},
+		Pattern:  mustPattern(t, "constant:rate=1", dur),
+		Duration: dur,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Errors != 0 {
+		t.Fatalf("errors against healthy stubs: %+v", res.Summary)
+	}
+	n1, n2 := served1.Load(), served2.Load()
+	if n1 == 0 || n2 == 0 {
+		t.Fatalf("round-robin skipped a target: %d vs %d", n1, n2)
+	}
+	if n1+n2 != int64(res.Summary.Offered) {
+		t.Fatalf("stubs served %d, offered %d", n1+n2, res.Summary.Offered)
+	}
+}
+
+// TestRunnerCancellationDrains cancels a run mid-flight and checks the
+// contract: Run returns ctx.Err(), every scheduled request still gets
+// an outcome (offered = done + errors), and the deterministic offered
+// column stays complete.
+func TestRunnerCancellationDrains(t *testing.T) {
+	target, _ := stubTarget(t, 128, 0)
+	dur := time.Hour
+	pattern := mustPattern(t, "constant:rate=2", dur)
+	// Real clock at a scale that would take ~36s of wall time; cancel
+	// after a sliver of it.
+	clock, err := NewClock("real", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Targets:  []string{target},
+		Pattern:  pattern,
+		Duration: dur,
+		Interval: 10 * time.Minute,
+		Seed:     17,
+		Clock:    clock,
+	})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	s := res.Summary
+	if s.Done+s.Errors != s.Offered {
+		t.Fatalf("vaporized outcomes after cancel: %+v", s)
+	}
+	if res.Outcomes[OutcomeRejected] == 0 {
+		t.Fatal("cancel before the schedule ran dry must reject the tail")
+	}
+	// The full deterministic schedule was still accounted as offered.
+	arrivals, _, err := CollectSchedule(17, pattern, nil, DefaultMix(), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Offered != len(arrivals) {
+		t.Fatalf("offered %d != schedule length %d", s.Offered, len(arrivals))
+	}
+}
+
+// TestRunnerConfigValidation covers the config error paths.
+func TestRunnerConfigValidation(t *testing.T) {
+	target, _ := stubTarget(t, 64, 0)
+	dur := time.Minute
+	p := mustPattern(t, "constant:rate=1", dur)
+	for name, cfg := range map[string]Config{
+		"no targets":  {Pattern: p, Duration: dur},
+		"no pattern":  {Targets: []string{target}, Duration: dur},
+		"no duration": {Targets: []string{target}, Pattern: p},
+		"bad model":   {Targets: []string{target}, Pattern: p, Duration: dur, Model: "nope"},
+	} {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("%s: Run succeeded, want error", name)
+		}
+	}
+	if _, err := NewClock("warp", 1); err == nil {
+		t.Error("unknown clock mode accepted")
+	}
+	if _, err := NewClock("real", 0); err == nil {
+		t.Error("zero time-scale accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package loadsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ReqKind is the request type an arrival issues.
+type ReqKind string
+
+const (
+	ReqPredict  ReqKind = "predict"  // single point through the coalescer
+	ReqBatch    ReqKind = "batch"    // small batched prediction
+	ReqVariance ReqKind = "variance" // mean + ensemble disagreement
+)
+
+// Mix is the request-type mix, in relative weights.
+type Mix struct {
+	Predict  float64
+	Batch    float64
+	Variance float64
+	// BatchRows is the number of design points per ReqBatch request.
+	BatchRows int
+}
+
+// DefaultMix models interactive traffic: mostly coalescable single
+// predictions, a trickle of small batches and variance queries.
+func DefaultMix() Mix {
+	return Mix{Predict: 0.90, Batch: 0.05, Variance: 0.05, BatchRows: 32}
+}
+
+// ParseMix parses "predict=90,batch=5,variance=5[,rows=32]" into a Mix.
+// Weights are relative; omitted kinds get weight zero. At least one
+// weight must be positive.
+func ParseMix(spec string) (Mix, error) {
+	if strings.TrimSpace(spec) == "" {
+		return DefaultMix(), nil
+	}
+	kv, err := parseKV(spec)
+	if err != nil {
+		return Mix{}, fmt.Errorf("loadsim: mix %q: %v", spec, err)
+	}
+	m := Mix{BatchRows: 32}
+	m.Predict, err = kv.rate("predict", 0)
+	if err != nil {
+		return Mix{}, err
+	}
+	m.Batch, err = kv.rate("batch", 0)
+	if err != nil {
+		return Mix{}, err
+	}
+	m.Variance, err = kv.rate("variance", 0)
+	if err != nil {
+		return Mix{}, err
+	}
+	rows, err := kv.rate("rows", 32)
+	if err != nil {
+		return Mix{}, err
+	}
+	if rows < 1 || rows > maxSweepRows || rows != float64(int(rows)) {
+		return Mix{}, fmt.Errorf("loadsim: mix rows must be an integer in [1,%d], got %g", maxSweepRows, rows)
+	}
+	m.BatchRows = int(rows)
+	for _, k := range []string{"predict", "batch", "variance", "rows"} {
+		delete(kv, k)
+	}
+	if len(kv) > 0 {
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return Mix{}, fmt.Errorf("loadsim: mix %q: unknown key(s) %v", spec, keys)
+	}
+	if m.Predict+m.Batch+m.Variance <= 0 {
+		return Mix{}, fmt.Errorf("loadsim: mix %q offers no requests (all weights zero)", spec)
+	}
+	return m, nil
+}
+
+// Arrival is one scheduled request. Everything in it is derived from
+// the schedule's RNG stream, never from execution, so the sequence of
+// Arrivals is identical across clocks, time scales, and worker counts.
+type Arrival struct {
+	Index int           // 0-based arrival number, the request's identity
+	At    time.Duration // simulated offset from run start
+	Kind  ReqKind
+	// PointDraw selects the design point(s): the client maps it onto
+	// the target model's space as PointDraw % space size (and walks
+	// forward from there for batches). Keeping the raw draw here keeps
+	// the schedule independent of which model is being driven.
+	PointDraw uint64
+	Rows      int // batch size for ReqBatch; 1 otherwise
+}
+
+// Schedule streams a deterministic non-homogeneous Poisson arrival
+// process thinned to pattern.Rate × event multipliers, interleaved with
+// the run's scheduled events. It is a pull-based iterator: Next returns
+// arrivals one at a time so a 24h schedule with millions of requests is
+// never materialized.
+type Schedule struct {
+	pattern  Pattern
+	events   []Event
+	dur      time.Duration
+	mix      Mix
+	rng      *stats.RNG
+	envelope float64 // thinning envelope: max pattern rate × max event mult
+
+	t     time.Duration // current simulated time of the Poisson clock
+	index int
+	done  bool
+}
+
+// NewSchedule builds the deterministic schedule for (seed, pattern,
+// events, mix) over dur of simulated time.
+func NewSchedule(seed uint64, p Pattern, events []Event, mix Mix, dur time.Duration) (*Schedule, error) {
+	if dur <= 0 {
+		return nil, fmt.Errorf("loadsim: schedule needs a positive duration, got %v", dur)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("loadsim: schedule needs a pattern")
+	}
+	if mix.Predict+mix.Batch+mix.Variance <= 0 {
+		return nil, fmt.Errorf("loadsim: schedule needs a mix with positive weight")
+	}
+	if mix.BatchRows <= 0 {
+		mix.BatchRows = 32
+	}
+	env := p.MaxRate() * maxRateMult(events)
+	if env <= 0 || math.IsInf(env, 0) || math.IsNaN(env) {
+		return nil, fmt.Errorf("loadsim: pattern+events have no positive bounded rate (envelope %g)", env)
+	}
+	return &Schedule{
+		pattern:  p,
+		events:   events,
+		dur:      dur,
+		mix:      mix,
+		rng:      stats.NewRNG(seed),
+		envelope: env,
+	}, nil
+}
+
+// Next returns the next scheduled arrival, or ok=false when the run's
+// simulated duration is exhausted.
+func (s *Schedule) Next() (Arrival, bool) {
+	if s.done {
+		return Arrival{}, false
+	}
+	for {
+		// Exponential inter-arrival gap at the envelope rate; thinning
+		// keeps each candidate with probability rate(t)/envelope, which
+		// yields exactly the non-homogeneous process with intensity
+		// rate(t). 1-Float64() is in (0,1], so Log never sees zero.
+		gap := -math.Log(1-s.rng.Float64()) / s.envelope
+		s.t += time.Duration(gap * float64(time.Second))
+		if s.t >= s.dur {
+			s.done = true
+			return Arrival{}, false
+		}
+		keep := s.rng.Float64() // drawn unconditionally: one draw per candidate
+		rate := s.pattern.Rate(s.t) * rateMult(s.events, s.t)
+		if keep*s.envelope >= rate {
+			continue // thinned away
+		}
+		a := Arrival{Index: s.index, At: s.t, Rows: 1}
+		a.Kind = s.drawKind()
+		if a.Kind == ReqBatch {
+			a.Rows = s.mix.BatchRows
+		}
+		a.PointDraw = s.rng.Uint64()
+		s.index++
+		return a, true
+	}
+}
+
+// drawKind picks the request type by mix weight.
+func (s *Schedule) drawKind() ReqKind {
+	total := s.mix.Predict + s.mix.Batch + s.mix.Variance
+	u := s.rng.Float64() * total
+	switch {
+	case u < s.mix.Predict:
+		return ReqPredict
+	case u < s.mix.Predict+s.mix.Batch:
+		return ReqBatch
+	default:
+		return ReqVariance
+	}
+}
+
+// Events returns the run's scheduled events in firing order.
+func (s *Schedule) Events() []Event { return s.events }

@@ -1,0 +1,149 @@
+package loadsim
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSIGTERMMidSoakDrainsCleanly is the end-to-end graceful-
+// shutdown satellite: a real cmd/serve process is soaked under a
+// real-clock (time-compressed) load, SIGTERMed mid-run, and must
+//
+//   - never vaporize in-flight work: no response may start and then be
+//     cut off (OutcomeDropped == 0 — requests the server never accepted
+//     are fine, abandoned ones are not),
+//   - reject the post-shutdown tail of the schedule,
+//   - exit zero well within its -drain budget.
+func TestServeSIGTERMMidSoakDrainsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and soaks a real serve process; skipped with -short")
+	}
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "serve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/serve")
+	build.Env = append(os.Environ(), "CGO_ENABLED=0")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/serve: %v\n%s", err, out)
+	}
+
+	bundlePath := filepath.Join(dir, "synth.json")
+	if err := trainedBundle(t).WriteFile(bundlePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a port, free it, and hand it to the server.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	const drain = 10 * time.Second
+	cmd := exec.Command(bin, "-addr", addr, "-model", "synth="+bundlePath, "-jobs", "0", "-drain", drain.String())
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	target := "http://" + addr
+	if err := waitReady(target, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// One simulated hour compressed 600×: ~6s of wall soak at a few
+	// hundred wall-rps. Keep-alives off so every request dials fresh —
+	// a closed listener then reads as "rejected", never as a stale
+	// connection racing the drain.
+	dur := time.Hour
+	clock, err := NewClock("real", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpc := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	resc := make(chan *Result, 1)
+	go func() {
+		res, _ := Run(context.Background(), Config{
+			Targets:    []string{target},
+			Pattern:    mustPattern(t, "constant:rate=0.6", dur),
+			Duration:   dur,
+			Interval:   5 * time.Minute,
+			Seed:       99,
+			Workers:    32,
+			Clock:      clock,
+			HTTPClient: httpc,
+			SkipStats:  true, // stats polls race the shutdown; not under test here
+		})
+		resc <- res
+	}()
+
+	time.Sleep(2 * time.Second) // mid-soak, traffic in flight
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	termAt := time.Now()
+
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case err := <-waitc:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(drain + 5*time.Second):
+		t.Fatalf("serve did not exit within its %v drain budget", drain)
+	}
+	if took := time.Since(termAt); took > drain {
+		t.Fatalf("drain took %v, over the %v budget", took, drain)
+	}
+
+	var res *Result
+	select {
+	case res = <-resc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("load run did not finish after the server exited")
+	}
+	t.Logf("outcomes after SIGTERM mid-soak: %v", res.Outcomes)
+	if res.Outcomes[OutcomeDropped] != 0 {
+		t.Fatalf("server vaporized %d accepted in-flight requests: %v", res.Outcomes[OutcomeDropped], res.Outcomes)
+	}
+	if res.Outcomes[OutcomeOK] == 0 {
+		t.Fatal("no request completed before shutdown; the soak never touched the server")
+	}
+	if res.Outcomes[OutcomeRejected] == 0 {
+		t.Fatal("no request was rejected after shutdown; SIGTERM landed too late to test the drain")
+	}
+	if s := res.Summary; s.Done+s.Errors != s.Offered {
+		t.Fatalf("outcome accounting broken across shutdown: %+v", s)
+	}
+}
+
+// waitReady polls /v1/models until the server answers.
+func waitReady(target string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(target + "/v1/models")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s not ready within %v", target, within)
+}

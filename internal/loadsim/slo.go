@@ -1,0 +1,197 @@
+package loadsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Summary are the whole-run measurements an SLO clause can reference.
+type Summary struct {
+	Offered   int     `json:"offered"`    // arrivals scheduled
+	Done      int     `json:"done"`       // completed successfully
+	Errors    int     `json:"errors"`     // failed (transport or non-2xx)
+	ErrorRate float64 `json:"error_rate"` // Errors / (Done+Errors), fraction
+	Complete  float64 `json:"completion"` // Done / Offered, fraction
+	P50MS     float64 `json:"p50_ms"`     // latency percentiles over every completion, ms
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+	WallRPS   float64 `json:"wall_rps"`       // completions per second of wall time
+	Coalesce  float64 `json:"coalesce_batch"` // mean single-point requests per server flush
+	WallSecs  float64 `json:"wall_seconds"`   // run length in wall time
+	SimSecs   float64 `json:"sim_seconds"`    // run length in simulated time
+}
+
+// sloMetrics maps clause metric names onto summary fields. Duration
+// metrics (unit "ms") accept duration literals on the right-hand side;
+// fraction metrics accept percentages.
+var sloMetrics = map[string]struct {
+	unit string // "ms", "frac", or "" (plain number)
+	get  func(Summary) float64
+}{
+	"p50":            {"ms", func(s Summary) float64 { return s.P50MS }},
+	"p95":            {"ms", func(s Summary) float64 { return s.P95MS }},
+	"p99":            {"ms", func(s Summary) float64 { return s.P99MS }},
+	"max":            {"ms", func(s Summary) float64 { return s.MaxMS }},
+	"mean":           {"ms", func(s Summary) float64 { return s.MeanMS }},
+	"error_rate":     {"frac", func(s Summary) float64 { return s.ErrorRate }},
+	"completion":     {"frac", func(s Summary) float64 { return s.Complete }},
+	"wall_rps":       {"", func(s Summary) float64 { return s.WallRPS }},
+	"coalesce_batch": {"", func(s Summary) float64 { return s.Coalesce }},
+}
+
+// Clause is one parsed SLO condition: metric op threshold.
+type Clause struct {
+	Metric string  `json:"metric"`
+	Op     string  `json:"op"` // "<", "<=", ">", ">="
+	Value  float64 `json:"value"`
+	Raw    string  `json:"raw"` // the spec text, for reports
+}
+
+// holds reports whether measured satisfies the clause.
+func (c Clause) holds(measured float64) bool {
+	switch c.Op {
+	case "<":
+		return measured < c.Value
+	case "<=":
+		return measured <= c.Value
+	case ">":
+		return measured > c.Value
+	case ">=":
+		return measured >= c.Value
+	}
+	return false
+}
+
+// SLO is a conjunction of clauses.
+type SLO struct{ Clauses []Clause }
+
+// ParseSLO parses a comma-separated SLO spec. Each clause is
+// metric op value:
+//
+//	p99<50ms, p50<=5ms, error_rate<0.5%, completion>99.9%,
+//	wall_rps>500, coalesce_batch>=2
+//
+// Latency thresholds take duration literals (50ms, 1.5s) or bare
+// numbers (milliseconds); rate thresholds take percentages or bare
+// fractions. An empty spec parses to an empty SLO that always passes.
+func ParseSLO(spec string) (SLO, error) {
+	var slo SLO
+	if strings.TrimSpace(spec) == "" {
+		return slo, nil
+	}
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		c, err := parseClause(raw)
+		if err != nil {
+			return SLO{}, err
+		}
+		slo.Clauses = append(slo.Clauses, c)
+	}
+	if len(slo.Clauses) == 0 {
+		return SLO{}, fmt.Errorf("loadsim: SLO spec %q has no clauses", spec)
+	}
+	return slo, nil
+}
+
+func parseClause(raw string) (Clause, error) {
+	// Two-char ops first so "<=" is not read as "<" + "=5ms".
+	var op string
+	var opIdx int
+	for _, cand := range []string{"<=", ">=", "<", ">"} {
+		if i := strings.Index(raw, cand); i >= 0 {
+			op, opIdx = cand, i
+			break
+		}
+	}
+	if op == "" {
+		return Clause{}, fmt.Errorf("loadsim: SLO clause %q has no comparison (want metric<value or metric>value)", raw)
+	}
+	metric := strings.TrimSpace(raw[:opIdx])
+	valStr := strings.TrimSpace(raw[opIdx+len(op):])
+	def, ok := sloMetrics[metric]
+	if !ok {
+		known := make([]string, 0, len(sloMetrics))
+		for k := range sloMetrics {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return Clause{}, fmt.Errorf("loadsim: SLO clause %q: unknown metric %q (want %s)", raw, metric, strings.Join(known, "|"))
+	}
+	v, err := parseThreshold(valStr, def.unit)
+	if err != nil {
+		return Clause{}, fmt.Errorf("loadsim: SLO clause %q: %v", raw, err)
+	}
+	return Clause{Metric: metric, Op: op, Value: v, Raw: raw}, nil
+}
+
+// parseThreshold resolves a right-hand side into the metric's native
+// unit: milliseconds for "ms" metrics, a fraction for "frac" metrics.
+func parseThreshold(s, unit string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing threshold")
+	}
+	switch unit {
+	case "ms":
+		if d, err := time.ParseDuration(s); err == nil {
+			if d < 0 {
+				return 0, fmt.Errorf("threshold %q must be non-negative", s)
+			}
+			return float64(d) / float64(time.Millisecond), nil
+		}
+	case "frac":
+		if strings.HasSuffix(s, "%") {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("bad percentage %q", s)
+			}
+			return v / 100, nil
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad threshold %q", s)
+	}
+	return v, nil
+}
+
+// Violation is one failed clause with what was measured.
+type Violation struct {
+	Clause   string  `json:"clause"`
+	Metric   string  `json:"metric"`
+	Measured float64 `json:"measured"`
+	Limit    float64 `json:"limit"`
+}
+
+// Report is an evaluated SLO.
+type Report struct {
+	Pass       bool        `json:"pass"`
+	Checked    []string    `json:"checked"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Evaluate grades a run summary against the SLO.
+func (slo SLO) Evaluate(s Summary) Report {
+	rep := Report{Pass: true}
+	for _, c := range slo.Clauses {
+		measured := sloMetrics[c.Metric].get(s)
+		rep.Checked = append(rep.Checked, c.Raw)
+		if !c.holds(measured) {
+			rep.Pass = false
+			rep.Violations = append(rep.Violations, Violation{
+				Clause:   c.Raw,
+				Metric:   c.Metric,
+				Measured: round6(measured),
+				Limit:    c.Value,
+			})
+		}
+	}
+	return rep
+}

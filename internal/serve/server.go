@@ -4,6 +4,7 @@
 // (see internal/bundle) and answers:
 //
 //	GET  /healthz           liveness and model count
+//	GET  /v1/stats          request/in-flight/error/coalescing counters (for load harnesses)
 //	GET  /v1/models         loaded models with provenance and accuracy estimates
 //	POST /v1/predict        one design point → prediction (+ member variance)
 //	POST /v1/predict/batch  many design points → predictions, one batched call
@@ -83,6 +84,7 @@ type Server struct {
 	reg  *Registry
 	jobs *JobStore
 	mux  *http.ServeMux
+	ctr  counters
 }
 
 // New builds a server over reg, serving queries only.
@@ -95,6 +97,7 @@ func New(reg *Registry) *Server { return NewWithJobs(reg, nil) }
 func NewWithJobs(reg *Registry, jobs *JobStore) *Server {
 	s := &Server{reg: reg, jobs: jobs, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/predict/batch", s.handlePredictBatch)
@@ -110,9 +113,10 @@ func NewWithJobs(reg *Registry, jobs *JobStore) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request passes through the
+// stats counters (see stats.go), so /v1/stats reflects all traffic.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.countRequest(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// ServerStats is the /v1/stats document: lightweight counters a load
+// harness (internal/loadsim) polls to report server-side efficiency
+// alongside client-side latency. Everything here is atomically
+// maintained; the endpoint costs one JSON encode, no locks on the
+// request path.
+type ServerStats struct {
+	// Requests counts every HTTP request served (including /v1/stats
+	// itself).
+	Requests int64 `json:"requests"`
+	// InFlight is the number of requests currently being handled.
+	InFlight int64 `json:"in_flight"`
+	// ClientErrors counts 4xx responses, ServerErrors 5xx.
+	ClientErrors int64 `json:"client_errors"`
+	ServerErrors int64 `json:"server_errors"`
+	// Models maps each registered model to its coalescer counters:
+	// single-point requests answered and the batched flushes that
+	// answered them — requests/flushes is the mean coalesced batch size.
+	Models map[string]CoalesceStats `json:"models"`
+	// Jobs is the number of jobs the store has accepted (0 with no job
+	// store), JobsActive how many are queued or running right now.
+	Jobs       int `json:"jobs"`
+	JobsActive int `json:"jobs_active"`
+}
+
+// counters is the server's atomic tally.
+type counters struct {
+	requests     atomic.Int64
+	inFlight     atomic.Int64
+	clientErrors atomic.Int64
+	serverErrors atomic.Int64
+}
+
+// statusRecorder captures the response status for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// countRequest wraps the whole mux so every endpoint is counted.
+func (s *Server) countRequest(w http.ResponseWriter, r *http.Request) {
+	s.ctr.requests.Add(1)
+	s.ctr.inFlight.Add(1)
+	defer s.ctr.inFlight.Add(-1)
+	rec := &statusRecorder{ResponseWriter: w}
+	s.mux.ServeHTTP(rec, r)
+	switch {
+	case rec.status >= 500:
+		s.ctr.serverErrors.Add(1)
+	case rec.status >= 400:
+		s.ctr.clientErrors.Add(1)
+	}
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Requests:     s.ctr.requests.Load(),
+		InFlight:     s.ctr.inFlight.Load(),
+		ClientErrors: s.ctr.clientErrors.Load(),
+		ServerErrors: s.ctr.serverErrors.Load(),
+		Models:       map[string]CoalesceStats{},
+	}
+	for _, name := range s.reg.Names() {
+		m, err := s.reg.Get(name)
+		if err != nil {
+			continue
+		}
+		st.Models[m.Name] = m.Stats()
+	}
+	if s.jobs != nil {
+		infos := s.jobs.List()
+		st.Jobs = len(infos)
+		for _, info := range infos {
+			if info.Status == JobQueued || info.Status == JobRunning {
+				st.JobsActive++
+			}
+		}
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestStatsEndpoint drives a few requests through the server and
+// checks the /v1/stats counters a load harness polls: total requests,
+// error classes, and per-model coalescer tallies.
+func TestStatsEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, CoalesceOpts{})
+
+	readStats := func() ServerStats {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/stats: status %d", resp.StatusCode)
+		}
+		var st ServerStats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	before := readStats()
+	if before.Models == nil {
+		t.Fatal("stats document has no models map")
+	}
+
+	// Three predictions, one client error, one miss on an unknown path.
+	const predictions = 3
+	for i := 0; i < predictions; i++ {
+		body := bytes.NewBufferString(fmt.Sprintf(`{"model":"synth","point":%d}`, i))
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewBufferString(`{"model":"nope","point":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d, want 404", resp.StatusCode)
+	}
+
+	after := readStats()
+	// before's own request is counted, as is the final /v1/stats read:
+	// 3 predicts + 1 error + 2 stats reads since the first snapshot.
+	if got := after.Requests - before.Requests; got != predictions+2 {
+		t.Fatalf("request delta %d, want %d", got, predictions+2)
+	}
+	if got := after.ClientErrors - before.ClientErrors; got != 1 {
+		t.Fatalf("client error delta %d, want 1", got)
+	}
+	if after.ServerErrors != before.ServerErrors {
+		t.Fatalf("server errors moved: %d -> %d", before.ServerErrors, after.ServerErrors)
+	}
+	m, ok := after.Models["synth"]
+	if !ok {
+		t.Fatalf("stats missing model synth: %+v", after.Models)
+	}
+	if m.Requests < predictions || m.Flushes == 0 || m.Flushes > m.Requests {
+		t.Fatalf("coalescer counters implausible: %+v", m)
+	}
+}
