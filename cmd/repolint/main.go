@@ -1,0 +1,113 @@
+// Command repolint statically enforces the repository's determinism
+// and concurrency invariants: it runs the internal/analysis suite
+// (determinism, maprange, rngshare, atomicmix, errfield) over package
+// patterns and exits non-zero on any finding, so CI fails before a
+// parity test ever has to catch the violation dynamically.
+//
+// Usage:
+//
+//	repolint [-list] [-analyzers a,b] [-dir path]... [packages]
+//
+// With package patterns (default ./...) it analyzes module packages,
+// test files included. Each -dir analyzes a bare directory of Go files
+// instead — testdata fixtures live outside the build, and CI's
+// deliberate-violation smoke check uses this mode to prove the gate
+// still trips.
+//
+// Suppress a finding with a reasoned directive on or above its line:
+//
+//	//repolint:allow determinism -- wall-measured telemetry; never reaches results
+//
+// The reason is mandatory; a bare directive is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "describe the analyzers and exit")
+		names = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		dirs  multiFlag
+	)
+	flag.Var(&dirs, "dir", "analyze a bare directory of Go files instead of package patterns (repeatable)")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *names != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*names, ",") {
+			a := byName[strings.TrimSpace(n)]
+			if a == nil {
+				fatalf("unknown analyzer %q (repolint -list names them)", n)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	var units []*analysis.Unit
+	if len(dirs) > 0 {
+		l, err := analysis.NewLoader(".")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, dir := range dirs {
+			u, err := l.LoadDir(dir)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			units = append(units, u)
+		}
+	} else {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		l, err := analysis.NewLoader(".", patterns...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		units, err = l.LoadRoots()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	diags, err := analysis.Run(units, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "repolint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -103,8 +103,13 @@ func main() {
 			break
 		}
 	}
-	for pol, s := range bestPer {
-		fmt.Printf("  %s: predicted IPC %.3f\n", pol, s.ipc)
+	policies := make([]string, 0, len(bestPer))
+	for pol := range bestPer {
+		policies = append(policies, pol)
+	}
+	sort.Strings(policies)
+	for _, pol := range policies {
+		fmt.Printf("  %s: predicted IPC %.3f\n", pol, bestPer[pol].ipc)
 	}
 }
 

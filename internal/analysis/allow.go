@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive:
+//
+//	//repolint:allow determinism -- progress log; never reaches results
+//
+// Several analyzers may be named, comma-separated. The directive
+// covers findings on its own line (trailing comment) and on the line
+// directly below it (full-line comment above the offending statement).
+const allowPrefix = "//repolint:allow"
+
+// allowDirective is one parsed //repolint:allow comment.
+type allowDirective struct {
+	file      string
+	line      int
+	analyzers []string
+	reason    string
+}
+
+// allowSet indexes the well-formed directives of one unit.
+type allowSet map[string]map[int][]allowDirective // file -> line -> directives
+
+// covers reports whether d is suppressed by a directive on its line or
+// the line above.
+func (s allowSet) covers(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range byLine[line] {
+			for _, name := range dir.analyzers {
+				if name == d.Analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //repolint:allow directive in the unit.
+// Malformed directives — no analyzer name, or no ` -- reason` — are
+// returned as diagnostics of the pseudo-analyzer "allow", which cannot
+// itself be suppressed: every escape hatch must say why.
+func collectAllows(u *Unit) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				bad := func(msg string) {
+					diags = append(diags, Diagnostic{Analyzer: "allow", Pos: pos, Message: msg})
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //repolint:allowlist — not our directive.
+					continue
+				}
+				names, reason, ok := strings.Cut(rest, "--")
+				if !ok || strings.TrimSpace(reason) == "" {
+					bad("repolint:allow directive needs a reason: `//repolint:allow <analyzer> -- <why the invariant does not apply here>`")
+					continue
+				}
+				var analyzers []string
+				for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					analyzers = append(analyzers, n)
+				}
+				if len(analyzers) == 0 {
+					bad("repolint:allow directive names no analyzer")
+					continue
+				}
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]allowDirective{}
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], allowDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: analyzers,
+					reason:    strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return set, diags
+}

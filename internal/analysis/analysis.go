@@ -1,0 +1,125 @@
+// Package analysis is the repository's static-enforcement layer: a
+// small, dependency-free reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, diagnostics, an analysistest
+// harness) plus the five repolint analyzers that encode this repo's
+// determinism and concurrency invariants as structural rules.
+//
+// The API deliberately mirrors go/analysis so the suite can migrate to
+// the real framework (and go vet -vettool= integration) the day
+// golang.org/x/tools is available as a dependency; the build
+// environment for this repository is stdlib-only, so packages are
+// loaded through `go list -export` and type-checked with go/types
+// against the toolchain's export data instead of go/packages.
+//
+// Diagnostics are suppressed line-by-line with
+//
+//	//repolint:allow <analyzer> -- <reason>
+//
+// either trailing the offending line or on the line directly above it.
+// The reason is mandatory: an allow directive without one is itself a
+// diagnostic, so every escape hatch in the tree documents why the
+// invariant genuinely does not apply there.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //repolint:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by repolint -list.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every unit and returns the surviving
+// diagnostics: findings on lines covered by a matching, well-formed
+// //repolint:allow directive are dropped, and malformed directives
+// (no ` -- reason`) are reported as findings of the pseudo-analyzer
+// "allow". The result is sorted by file, line, column, analyzer.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, u := range units {
+		allows, allowDiags := collectAllows(u)
+		out = append(out, allowDiags...)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, u.Path, err)
+			}
+		}
+		for _, d := range diags {
+			if !allows.covers(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full repolint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapRange, RNGShare, AtomicMix, ErrField}
+}

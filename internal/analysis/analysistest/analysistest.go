@@ -1,0 +1,170 @@
+// Package analysistest runs repolint analyzers over testdata fixture
+// packages and checks their diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the repo's stdlib-only analysis framework.
+//
+// A fixture line may carry several expectations:
+//
+//	rand.Seed(1) // want "math/rand" "seeded per-process"
+//
+// Every diagnostic must match a want on its exact file:line, and every
+// want must be matched — asymmetries fail the test. Suppressed
+// findings (covered by a //repolint:allow directive) never reach the
+// matcher, so suppression fixtures simply omit the want.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader per test process, rooted at the
+// enclosing module, so every fixture shares export data and a FileSet.
+func sharedLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		for {
+			if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+				break
+			}
+			parent := filepath.Dir(root)
+			if parent == root {
+				loaderErr = fmt.Errorf("analysistest: no go.mod above the test's working directory")
+				return
+			}
+			root = parent
+		}
+		loader, loaderErr = analysis.NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("analysistest: %v", loaderErr)
+	}
+	return loader
+}
+
+// Loader returns the process-wide shared Loader, rooted at the
+// enclosing module — also the cheapest way for other tests to analyze
+// the real tree.
+func Loader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	return sharedLoader(t)
+}
+
+// Run loads each fixture directory (relative to the test's working
+// directory) in order — earlier packages are importable by later ones
+// under their package names — runs the analyzer over all of them, and
+// matches diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	l := sharedLoader(t)
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var units []*analysis.Unit
+	for _, dir := range dirs {
+		u, err := l.LoadDir(filepath.Join(cwd, dir))
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", dir, err)
+		}
+		units = append(units, u)
+	}
+	diags, err := analysis.Run(units, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	wants := collectWants(t, units)
+	for _, d := range diags {
+		if !wants.match(d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet []*want
+
+func (ws wantSet) match(d analysis.Diagnostic) bool {
+	for _, w := range ws {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// wantRE extracts the quoted expectations from a `// want` comment.
+var wantRE = regexp.MustCompile("(?:\"(?:[^\"\\\\]|\\\\.)*\")|(?:`[^`]*`)")
+
+func collectWants(t *testing.T, units []*analysis.Unit) wantSet {
+	t.Helper()
+	var ws wantSet
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					// The marker may trail other comment text (e.g. a
+					// deliberately malformed //repolint:allow directive
+					// that wants its own diagnostic).
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					text := c.Text[idx+len("// want "):]
+					pos := u.Fset.Position(c.Pos())
+					for _, q := range wantRE.FindAllString(text, -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return ws
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDeterminism covers the in-scope fixture (wall clocks, RNG
+// imports, trailing/above/malformed/wrong-name directives), the
+// per-file scoping used for loadsim's schedule layer, and a fully
+// out-of-scope package.
+func TestDeterminism(t *testing.T) {
+	a := analysis.NewDeterminism(map[string][]string{
+		"determinism":       nil,
+		"determinismscoped": {"schedule.go"},
+	})
+	analysistest.Run(t, a,
+		"testdata/src/determinism",
+		"testdata/src/determinismscoped",
+		"testdata/src/determinismout",
+	)
+}
+
+// TestDeterminismDefaultScope pins the production scope: the packages
+// every result document is computed from, plus loadsim's pure schedule
+// layer — and nothing that is legitimately wall-measured.
+func TestDeterminismDefaultScope(t *testing.T) {
+	for _, pkg := range []string{
+		"repro/internal/core", "repro/internal/sweep", "repro/internal/space",
+		"repro/internal/encoding", "repro/internal/stats", "repro/internal/explore",
+		"repro/internal/loadsim",
+	} {
+		if _, ok := analysis.DeterminismScope[pkg]; !ok {
+			t.Errorf("DeterminismScope lost %s", pkg)
+		}
+	}
+	if files := analysis.DeterminismScope["repro/internal/loadsim"]; len(files) == 0 {
+		t.Error("loadsim must be scoped to its schedule layer, not the wall-measuring runner")
+	}
+	if _, ok := analysis.DeterminismScope["repro/internal/serve"]; ok {
+		t.Error("serve is a wall-measured service layer; it must not be in the determinism scope")
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for range` over a map whose body lets the iteration
+// order escape: appending to a slice that is never subsequently
+// sorted, writing serialized output, or sending on a channel. Go's map
+// order is deliberately randomized, so each of these is a direct
+// bit-identity bug — the exact class that breaks this repo's
+// "parallelism and serving never change output" invariant.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flag map iteration whose order escapes: appends to a never-sorted slice, " +
+		"serialized writes (fmt.Fprint*/Print*, json Encode, io.WriteString, csv Write), " +
+		"or channel sends inside `for range m`. Collect-then-sort is the sanctioned idiom.",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkMapRangesIn(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangesIn scans one function body (not descending into nested
+// function literals, which are scanned as their own scope) for map
+// range loops whose iteration order escapes.
+func checkMapRangesIn(pass *Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		// appends[obj] is the first append into that slice inside the
+		// loop; they are fine iff the slice is sorted somewhere in the
+		// enclosing function.
+		appends := map[types.Object]ast.Node{}
+		inspectShallow(rs.Body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "sends map-iteration values over a channel; map order is nondeterministic — collect and sort first")
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+						continue
+					}
+					if obj := rootObject(pass, n.Lhs[i]); obj != nil {
+						if _, seen := appends[obj]; !seen {
+							appends[obj] = n
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if isSerializingCall(pass, n) {
+					pass.Reportf(n.Pos(), "writes serialized output inside map iteration; map order is nondeterministic — collect keys, sort, then emit")
+				}
+			}
+		})
+		for obj, site := range appends {
+			if !sortedInFunc(pass, body, obj) {
+				pass.Reportf(site.Pos(), "appends map-iteration values to %q without a subsequent sort in this function; map order is nondeterministic", obj.Name())
+			}
+		}
+	})
+}
+
+// inspectShallow walks n without descending into nested function
+// literals.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObject resolves the base identifier of an lvalue chain
+// (x, x.f, x[i].f → x) to its object.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := pass.TypesInfo.Uses[v]; o != nil {
+				return o
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			// Prefer the selected field/var itself so s.out and s.in
+			// are distinct targets.
+			if sel, ok := pass.TypesInfo.Selections[v]; ok {
+				return sel.Obj()
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// serializers maps package path → function names whose calls emit
+// output in call order.
+var serializers = map[string]map[string]bool{
+	"fmt": {"Print": true, "Println": true, "Printf": true,
+		"Fprint": true, "Fprintln": true, "Fprintf": true},
+	"io":            {"WriteString": true},
+	"encoding/json": {"Encode": true},
+	"encoding/csv":  {"Write": true, "WriteAll": true},
+}
+
+func isSerializingCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names := serializers[fn.Pkg().Path()]
+	return names != nil && names[fn.Name()]
+}
+
+// sortedInFunc reports whether obj is passed (anywhere in its subtree)
+// to a sort.* / slices.Sort* call within body.
+func sortedInFunc(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if path == "slices" && !isSortName(fn.Name()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isSortName(name string) bool {
+	return name == "Sort" || name == "SortFunc" || name == "SortStableFunc"
+}

@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestRepolintTreeIsClean is the audit as a regression gate: the full
+// analyzer suite over the real module (test files included) must
+// report nothing. Reintroducing a wall-clock read into a
+// result-affecting package, an unsorted map-order listing, a shared
+// RNG, a mixed atomic field, a field-less Validate error — or an
+// //repolint:allow without a reason — fails tier-1 here, before any
+// parity test has to catch it dynamically.
+func TestRepolintTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	units, err := analysistest.Loader(t).LoadRoots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(units, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAnalyzerNamesAreStable pins the suite's composition: allow
+// directives reference analyzers by these names, so renaming one
+// silently voids every annotation in the tree.
+func TestAnalyzerNamesAreStable(t *testing.T) {
+	want := []string{"determinism", "maprange", "rngshare", "atomicmix", "errfield"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q needs both Doc and Run", a.Name)
+		}
+	}
+}

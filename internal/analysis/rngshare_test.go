@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestRNGShare loads the stub package first so the rngshare fixture
+// can import it — the cross-package case: the RNG type itself resolves
+// through the module's export data, the worker through a sibling
+// fixture unit.
+func TestRNGShare(t *testing.T) {
+	analysistest.Run(t, analysis.RNGShare, "testdata/src/rngstub", "testdata/src/rngshare")
+}

@@ -1,0 +1,66 @@
+// Package atomicmix is the fixture for the atomicmix analyzer: struct
+// fields touched both through sync/atomic functions and by plain
+// load/store.
+package atomicmix
+
+import "sync/atomic"
+
+// Mixed is the bug: hits is atomic in Add but plain in Snapshot.
+type Mixed struct {
+	hits int64
+}
+
+// Add updates atomically.
+func (m *Mixed) Add() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+// Snapshot reads the same field without sync/atomic.
+func (m *Mixed) Snapshot() int64 {
+	return m.hits // want `field "hits" is accessed with sync/atomic .* but by plain load/store here`
+}
+
+// Reset writes the same field without sync/atomic.
+func (m *Mixed) Reset() {
+	m.hits = 0 // want `field "hits" is accessed with sync/atomic .* but by plain load/store here`
+}
+
+// Consistent is always atomic: fine.
+type Consistent struct {
+	n uint64
+}
+
+// Incr and Load agree on the discipline.
+func (c *Consistent) Incr()        { atomic.AddUint64(&c.n, 1) }
+func (c *Consistent) Load() uint64 { return atomic.LoadUint64(&c.n) }
+
+// Typed uses the un-mixable typed atomics: fine.
+type Typed struct {
+	n atomic.Int64
+}
+
+// Incr and Load go through the type's methods.
+func (t *Typed) Incr()       { t.n.Add(1) }
+func (t *Typed) Load() int64 { return t.n.Load() }
+
+// PlainOnly never touches sync/atomic: fine.
+type PlainOnly struct {
+	n int64
+}
+
+// Incr is plain everywhere.
+func (p *PlainOnly) Incr() { p.n++ }
+
+// Allowed documents a proven-safe plain read (e.g. after all
+// goroutines joined) with a reasoned directive.
+type Allowed struct {
+	n int64
+}
+
+// Incr updates atomically.
+func (a *Allowed) Incr() { atomic.AddInt64(&a.n, 1) }
+
+// Final reads after the last writer exits.
+func (a *Allowed) Final() int64 {
+	return a.n //repolint:allow atomicmix -- fixture: read after sync barrier, no concurrent writers
+}

@@ -1,0 +1,49 @@
+// Package determinism is the in-scope fixture for the determinism
+// analyzer: wall-clock reads and nondeterministic RNG imports are
+// findings unless covered by a reasoned //repolint:allow directive.
+package determinism
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand`
+	"math/rand"         // want `import of math/rand`
+	"time"
+)
+
+// Wall exercises the forbidden time functions.
+func Wall() time.Duration {
+	start := time.Now()      // want `time\.Now in result-affecting package determinism`
+	_ = time.Until(start)    // want `time\.Until in result-affecting package`
+	return time.Since(start) // want `time\.Since in result-affecting package`
+}
+
+// Rand exercises the forbidden RNG imports at a use site (the import
+// line itself carries the finding).
+func Rand() int {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return rand.Int()
+}
+
+// AllowedTrailing is wall-measured telemetry with a trailing directive.
+func AllowedTrailing() time.Time {
+	return time.Now() //repolint:allow determinism -- fixture: progress-log timestamp, never reaches results
+}
+
+// AllowedAbove uses a full-line directive on the line above.
+func AllowedAbove() time.Time {
+	//repolint:allow determinism -- fixture: wall-measured latency column
+	return time.Now()
+}
+
+// MissingReason has a directive with no reason: the finding is NOT
+// suppressed and the directive itself is a second finding.
+func MissingReason() time.Time {
+	//repolint:allow determinism // want `needs a reason`
+	return time.Now() // want `time\.Now in result-affecting package`
+}
+
+// WrongAnalyzer names another analyzer, so it does not cover the line.
+func WrongAnalyzer() time.Time {
+	//repolint:allow maprange -- fixture: names the wrong analyzer
+	return time.Now() // want `time\.Now in result-affecting package`
+}

@@ -1,0 +1,15 @@
+// Package determinismout is entirely out of the determinism scope:
+// wall-clock reads and math/rand are legal here.
+package determinismout
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Free runs outside the result-affecting scope.
+func Free() time.Duration {
+	start := time.Now()
+	_ = rand.Int()
+	return time.Since(start)
+}

@@ -1,0 +1,9 @@
+package determinismscoped
+
+import "time"
+
+// WallStamp lives outside the scoped file list: not flagged.
+func WallStamp() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

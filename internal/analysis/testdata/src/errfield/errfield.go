@@ -1,0 +1,82 @@
+// Package errfield is the fixture for the errfield analyzer: Validate
+// methods must return errors that name the offending field.
+package errfield
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config mirrors the repo's spec types.
+type Config struct {
+	ChunkSize int
+	End       int
+	Workers   int
+}
+
+// Validate demonstrates both conventions and both violations.
+func (c *Config) Validate() error {
+	if c.ChunkSize < 0 {
+		return fmt.Errorf("cfg: ChunkSize %d must be non-negative", c.ChunkSize)
+	}
+	if c.End < 0 {
+		return errors.New("chunk size and end must agree")
+	}
+	if c.Workers < 0 {
+		return errors.New("bad value") // want `names neither a field of Config nor the type itself`
+	}
+	if c.Workers > 1<<20 {
+		return fmt.Errorf("too big: %d", c.Workers) // want `names neither a field of Config nor the type itself`
+	}
+	return nil
+}
+
+// Spec exercises the receiver-type-name escape and value receivers.
+type Spec struct {
+	Rows int
+}
+
+// Validate mentions the type, not the field: accepted.
+func (s Spec) Validate() error {
+	if s.Rows < 0 {
+		return fmt.Errorf("spec range [%d,0) is empty", s.Rows)
+	}
+	return nil
+}
+
+// Wrapped propagates a sub-error: outside the heuristic, skipped.
+type Wrapped struct {
+	Inner Config
+}
+
+// Validate wraps without a literal.
+func (w *Wrapped) Validate() error {
+	if err := w.Inner.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NotValidate is any other method: the convention only binds Validate.
+func (c *Config) NotValidate() error {
+	return errors.New("bad value")
+}
+
+// Free functions named Validate are not methods and are skipped.
+func Validate() error {
+	return errors.New("bad value")
+}
+
+// Allowed is suppressed with a reasoned directive.
+type Allowed struct {
+	N int
+}
+
+// Validate has one message that cannot name a field meaningfully.
+func (a *Allowed) Validate() error {
+	if a.N < 0 {
+		//repolint:allow errfield -- fixture: single-field struct, message is unambiguous
+		return errors.New("must be non-negative")
+	}
+	return nil
+}

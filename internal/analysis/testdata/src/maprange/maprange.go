@@ -1,0 +1,124 @@
+// Package maprange is the fixture for the maprange analyzer: map
+// iteration order escaping into slices, output streams, or channels.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+)
+
+// CollectNoSort appends map keys and never sorts: the classic
+// bit-identity killer.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends map-iteration values to "keys" without a subsequent sort`
+	}
+	return keys
+}
+
+// CollectThenSort is the sanctioned idiom.
+func CollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectThenSlicesSort uses the slices package instead.
+func CollectThenSlicesSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// CollectThenSortFunc sorts through a comparison func, wrapping the
+// slice in the call's argument subtree.
+func CollectThenSortFunc(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// PrintDuringRange serializes inside the loop.
+func PrintDuringRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `writes serialized output inside map iteration`
+	}
+}
+
+// FprintDuringRange covers the writer-bound variant.
+func FprintDuringRange(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want `writes serialized output inside map iteration`
+	}
+}
+
+// SendDuringRange leaks order over a channel.
+func SendDuringRange(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `sends map-iteration values over a channel`
+	}
+}
+
+// AggregateIsFine: commutative reduction does not depend on order.
+func AggregateIsFine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MapToMapIsFine: building another map is order-independent.
+func MapToMapIsFine(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// SliceRangeIsFine: only map ranges are checked.
+func SliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// InsideClosure: a nested function literal is its own scope — sorting
+// in the outer function does not sanction the closure's loop.
+func InsideClosure(m map[string]int) func() []string {
+	var outer []string
+	fn := func() []string {
+		var keys []string
+		for k := range m {
+			keys = append(keys, k) // want `appends map-iteration values to "keys" without a subsequent sort`
+		}
+		return keys
+	}
+	sort.Strings(outer)
+	return fn
+}
+
+// Allowed is suppressed with a reasoned directive.
+func Allowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//repolint:allow maprange -- fixture: order randomization is the point here
+		keys = append(keys, k)
+	}
+	return keys
+}

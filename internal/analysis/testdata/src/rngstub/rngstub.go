@@ -1,0 +1,11 @@
+// Package rngstub is the helper half of the rngshare cross-package
+// fixture: a worker that takes the repo's real *stats.RNG, imported by
+// the rngshare fixture across package boundaries.
+package rngstub
+
+import "repro/internal/stats"
+
+// Work consumes a generator on whatever goroutine calls it.
+func Work(r *stats.RNG) uint64 {
+	return r.Uint64()
+}

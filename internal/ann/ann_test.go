@@ -2,6 +2,7 @@ package ann
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -17,16 +18,27 @@ func smallConfig(in, out int) Config {
 }
 
 func TestConfigValidation(t *testing.T) {
-	bad := []Config{
-		{Inputs: 0, Hidden: []int{4}, Outputs: 1, LearningRate: 0.1},
-		{Inputs: 2, Hidden: []int{0}, Outputs: 1, LearningRate: 0.1},
-		{Inputs: 2, Hidden: []int{4}, Outputs: 0, LearningRate: 0.1},
-		{Inputs: 2, Hidden: []int{4}, Outputs: 1, LearningRate: 0},
-		{Inputs: 2, Hidden: []int{4}, Outputs: 1, LearningRate: 0.1, Momentum: 1},
+	// Each rejection must name the offending field (the repo-wide
+	// errfield convention), so a misconfiguration points at the knob
+	// to fix.
+	bad := []struct {
+		cfg  Config
+		name string
+	}{
+		{Config{Inputs: 0, Hidden: []int{4}, Outputs: 1, LearningRate: 0.1}, "Inputs"},
+		{Config{Inputs: 2, Hidden: []int{0}, Outputs: 1, LearningRate: 0.1}, "hidden layer"},
+		{Config{Inputs: 2, Hidden: []int{4}, Outputs: 0, LearningRate: 0.1}, "Outputs"},
+		{Config{Inputs: 2, Hidden: []int{4}, Outputs: 1, LearningRate: 0}, "learning rate"},
+		{Config{Inputs: 2, Hidden: []int{4}, Outputs: 1, LearningRate: 0.1, Momentum: 1}, "momentum"},
 	}
-	for i, cfg := range bad {
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("config %d accepted: %+v", i, cfg)
+	for i, tc := range bad {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("config %d accepted: %+v", i, tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("config %d rejection %q does not name %q", i, err, tc.name)
 		}
 	}
 	if err := smallConfig(2, 1).Validate(); err != nil {

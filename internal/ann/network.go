@@ -148,7 +148,7 @@ func PaperConfig(inputs, outputs int) Config {
 // Validate reports structural problems with the configuration.
 func (c Config) Validate() error {
 	if c.Inputs <= 0 || c.Outputs <= 0 {
-		return fmt.Errorf("ann: need positive input/output counts, got %d/%d", c.Inputs, c.Outputs)
+		return fmt.Errorf("ann: Config.Inputs and Config.Outputs must both be positive, got %d/%d", c.Inputs, c.Outputs)
 	}
 	for i, h := range c.Hidden {
 		if h <= 0 {

@@ -223,7 +223,7 @@ func (e *Explorer) Grow(n int) error {
 // TrainRound trains a fresh ensemble on everything simulated so far and
 // records the round.
 func (e *Explorer) TrainRound() error {
-	start := time.Now()
+	start := time.Now() //repolint:allow determinism -- Step.TrainTime is wall-clock training telemetry; it never feeds selection or weights
 	ens, err := TrainEnsemble(e.inputs, e.targets, e.cfg.RoundModel(len(e.indices)))
 	if err != nil {
 		return err
@@ -233,7 +233,7 @@ func (e *Explorer) TrainRound() error {
 		Samples:   len(e.indices),
 		Fraction:  float64(len(e.indices)) / float64(e.sp.Size()),
 		Est:       ens.Estimate(),
-		TrainTime: time.Since(start),
+		TrainTime: time.Since(start), //repolint:allow determinism -- wall-clock training telemetry; excluded from bit-identity comparisons
 	})
 	return nil
 }

@@ -402,9 +402,9 @@ func (d *Driver) trainAsync() <-chan trainResult {
 	cfg := d.cfg.RoundModel(n)
 	done := make(chan trainResult, 1)
 	go func() {
-		start := time.Now()
+		start := time.Now() //repolint:allow determinism -- Step.TrainTime is wall-clock training telemetry; it never feeds selection or weights
 		ens, err := core.TrainEnsemble(inputs, targets, cfg)
-		done <- trainResult{ens: ens, dur: time.Since(start), err: err}
+		done <- trainResult{ens: ens, dur: time.Since(start), err: err} //repolint:allow determinism -- wall-clock training telemetry; excluded from bit-identity comparisons
 	}()
 	return done
 }

@@ -1,9 +1,10 @@
 package sweep
 
 import (
-	"math/rand"
 	"reflect"
 	"testing"
+
+	"repro/internal/stats"
 )
 
 func frontierOf(minimize []bool, pts []Point) []Point {
@@ -115,7 +116,7 @@ func TestFrontierSingleMetric(t *testing.T) {
 // equal one sequential pass — the property chunked reduction rests on.
 func TestFrontierMergeEqualsSequential(t *testing.T) {
 	dir := []bool{false, true, false}
-	rng := rand.New(rand.NewSource(7))
+	rng := stats.NewRNG(7)
 	var pts []Point
 	for i := 0; i < 400; i++ {
 		pts = append(pts, Point{Index: i, Values: []float64{
@@ -166,7 +167,7 @@ func TestTopKOrderingAndTies(t *testing.T) {
 // TestTopKMergeEqualsSequential mirrors the frontier merge property
 // for the leaderboards.
 func TestTopKMergeEqualsSequential(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := stats.NewRNG(11)
 	var pts []Point
 	for i := 0; i < 300; i++ {
 		pts = append(pts, Point{Index: i, Values: []float64{float64(rng.Intn(12))}})
