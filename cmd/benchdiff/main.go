@@ -28,6 +28,13 @@
 // the points/s throughput the repo's hot paths report — gates on
 // decreases. Gates sharing a package and benchtime run under one
 // `go test -bench` invocation.
+//
+// A gate may additionally pin a same-run speedup contract with
+// "min_ratio_to"/"min_ratio": its measurement must stay at least
+// min_ratio times the named gate's measurement. Both sides come from
+// the same machine and run, so the ratio holds across hardware and
+// -scale leaves it untouched — this is how BENCH_kernel.json enforces
+// fast32 ≥ 3x the exact kernel wherever CI runs.
 package main
 
 import (
@@ -51,6 +58,14 @@ type gate struct {
 	Baseline      float64 `json:"baseline"`
 	MaxRegression float64 `json:"max_regression"` // fraction; 0 = default 0.30
 	Benchtime     string  `json:"benchtime"`      // go test -benchtime; 0 = default "1s"
+	// MinRatioTo/MinRatio gate a same-run *ratio*: this gate's
+	// measurement must stay at least MinRatio times the measurement of
+	// the gate named MinRatioTo. Both sides are measured on the same
+	// machine in the same benchdiff run, so — unlike absolute baselines
+	// — the ratio is machine-independent and -scale does not loosen it.
+	// This is how speedup contracts (e.g. fast32 ≥ 3x exact) are pinned.
+	MinRatioTo string  `json:"min_ratio_to,omitempty"`
+	MinRatio   float64 `json:"min_ratio,omitempty"`
 }
 
 // lowerIsBetter: the go benchmark per-op metrics shrink when code gets
@@ -108,6 +123,9 @@ func main() {
 			if g.Name == "" || g.Package == "" || g.Benchmark == "" || g.Metric == "" {
 				fatal(fmt.Errorf("%s: gate %+v is missing name/package/benchmark/metric", path, g))
 			}
+			if (g.MinRatioTo == "") != (g.MinRatio == 0) {
+				fatal(fmt.Errorf("%s: gate %q must set min_ratio_to and min_ratio together", path, g.Name))
+			}
 			if _, dup := gateFile[g.Name]; dup {
 				fatal(fmt.Errorf("duplicate gate name %q", g.Name))
 			}
@@ -115,6 +133,13 @@ func main() {
 		}
 		files = append(files, fileGates{path: path, doc: doc, gates: gs})
 		all = append(all, gs...)
+	}
+	for _, g := range all {
+		if g.MinRatioTo != "" {
+			if _, ok := gateFile[g.MinRatioTo]; !ok {
+				fatal(fmt.Errorf("gate %q: min_ratio_to names unknown gate %q", g.Name, g.MinRatioTo))
+			}
+		}
 	}
 	if len(all) == 0 {
 		fmt.Println("benchdiff: no gates found; nothing to check")
@@ -193,6 +218,17 @@ func main() {
 		}
 		fmt.Printf("%-24s %-34s %14.6g %s (baseline %.6g, limit %.6g, %s)\n",
 			g.Name, g.Benchmark, v, g.Metric, g.Baseline, limit, verdict)
+		if g.MinRatioTo != "" {
+			ref := measured[g.MinRatioTo]
+			ratio := v / ref
+			verdict := "ok"
+			if !(ratio >= g.MinRatio) { // NaN (ref 0) must fail, not pass
+				verdict = "REGRESSED"
+				failed++
+			}
+			fmt.Printf("%-24s %-34s %14.3gx vs %s (floor %.3gx, %s)\n",
+				g.Name+"(ratio)", g.Benchmark, ratio, g.MinRatioTo, g.MinRatio, verdict)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d gate(s) regressed beyond tolerance (baselines in %v)\n",

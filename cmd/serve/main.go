@@ -47,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -71,6 +73,8 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight requests before closing connections")
 	jobQueue := flag.Int("job-queue", 16, "exploration jobs queued beyond the running ones before 429s")
 	defaultInsts := flag.Int("insts", 30000, "default instructions per simulation for exploration jobs")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiles on this address (e.g. localhost:6060; empty = off)")
+	kernelFlag := flag.String("kernel", "", "forward-kernel tier for sweep requests that don't name one: exact (default, bit-identical), fast, or fast32 (bounded-error)")
 	var models []string
 	flag.Func("model", "name=bundle.json model to serve (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -105,16 +109,38 @@ func main() {
 			est.MeanErr, est.SDErr, b.Meta.Study, b.Meta.App, b.Meta.Samples)
 	}
 
+	// Profiling is opt-in and rides its own listener, so the production
+	// port never exposes /debug/pprof and the profile traffic cannot
+	// interfere with query latency measurements on the main server.
+	if *pprofAddr != "" {
+		fmt.Printf("pprof profiles on http://%s/debug/pprof/\n", *pprofAddr)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pprofHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "serve: pprof:", err)
+			}
+		}()
+	}
+
 	var store *serve.JobStore
 	if *jobs > 0 {
 		store = serve.NewJobStore(reg, simBackend(*defaultInsts), *jobs, *jobQueue, opts)
 		fmt.Printf("exploration enabled: %d concurrent job(s), queue of %d (POST /v1/explore)\n", *jobs, *jobQueue)
 	}
 
+	handler := serve.NewWithJobs(reg, store)
+	kernel, err := ann.ParseKernelMode(*kernelFlag)
+	fatal(err)
+	if *kernelFlag != "" {
+		// Requests naming their own tier still win; a cluster must set
+		// the same default on every node (the merge rejects drift).
+		handler.SetDefaultKernel(kernel)
+		fmt.Printf("default sweep kernel: %s\n", kernel)
+	}
+
 	fmt.Printf("serving %d model(s) on %s\n", reg.Len(), *addr)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.NewWithJobs(reg, store),
+		Handler: handler,
 		// A long-running service must not let stalled clients pin
 		// goroutines and file descriptors forever; request bodies are
 		// small JSON documents, so these bounds are generous.
@@ -151,6 +177,19 @@ func main() {
 		reg.Close()
 		fmt.Fprintln(os.Stderr, "serve: stopped")
 	}
+}
+
+// pprofHandler builds the profiling mux explicitly instead of relying
+// on net/http/pprof's DefaultServeMux registration, so the profile
+// endpoints exist only on the dedicated -pprof listener.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // simBackend resolves exploration requests onto the compiled-in studies

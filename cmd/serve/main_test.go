@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPprofHandlerSmoke pins the -pprof surface: the dedicated mux
+// answers the profile index and the cheap always-available profiles,
+// and nothing outside /debug/pprof/ exists on it.
+func TestPprofHandlerSmoke(t *testing.T) {
+	ts := httptest.NewServer(pprofHandler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	status, body := get("/debug/pprof/")
+	if status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("profile index: status %d, body %.80q", status, body)
+	}
+	if status, _ := get("/debug/pprof/cmdline"); status != http.StatusOK {
+		t.Fatalf("cmdline profile: status %d", status)
+	}
+	if status, body := get("/debug/pprof/goroutine?debug=1"); status != http.StatusOK || !strings.Contains(body, "goroutine profile") {
+		t.Fatalf("goroutine profile: status %d, body %.80q", status, body)
+	}
+	if status, _ := get("/v1/models"); status != http.StatusNotFound {
+		t.Fatalf("the pprof listener must serve profiles only, got status %d for /v1/models", status)
+	}
+}

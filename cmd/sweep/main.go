@@ -19,6 +19,14 @@
 // worker pool; output is bit-identical for any -workers/-chunk
 // setting. -json emits the full result document instead of tables.
 //
+// -kernel selects the forward-pass tier (see internal/ann): "exact"
+// (the default) is the bit-identical reference; "fast" and "fast32"
+// trade documented activation error bounds for multi-million-point/s
+// throughput, and stay bit-identical within a tier for any
+// -workers/-chunk/node setting:
+//
+//	sweep -kernel fast32 -topk 25 perf.bundle   # ~3.5x exact throughput
+//
 // With -nodes the same ranking fans out across a cluster of serve
 // nodes instead of running locally (falling back to the local engine
 // when the list is empty). Arguments then name models *registered on
@@ -47,6 +55,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/bundle"
 	"repro/internal/cluster"
 	"repro/internal/serve"
@@ -60,6 +69,7 @@ func main() {
 	chunk := flag.Int("chunk", 0, "design points per streamed chunk (0 = default)")
 	jsonOut := flag.Bool("json", false, "emit the result document as JSON")
 	quiet := flag.Bool("quiet", false, "suppress progress reporting on stderr")
+	kernelFlag := flag.String("kernel", "", "forward-kernel tier: exact (default, bit-identical), fast, or fast32 (bounded-error, faster; bit-identical within a tier)")
 	nodes := flag.String("nodes", "", "comma-separated serve-node URLs to fan the sweep out across (empty = run locally)")
 	shardPts := flag.Int("shard", 0, "with -nodes: design points per dispatched shard (0 = auto, chunk-aligned)")
 	probe := flag.Bool("probe", false, "with -nodes: weight dispatch by each node's probed points/s")
@@ -73,16 +83,20 @@ func main() {
 	})
 	flag.Parse()
 
+	// Validate the tier name up front; the empty string parses as exact.
+	kernel, err := ann.ParseKernelMode(*kernelFlag)
+	fatal(err)
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	var res *sweep.Result
 	describe := func(int) string { return "" }
 	if *nodes != "" {
-		res = runCluster(ctx, *nodes, flag.Args(), modelFlags, *metricsFlag, *topk, *chunk, *workers, *shardPts, *probe, *quiet)
+		res = runCluster(ctx, *nodes, flag.Args(), modelFlags, *metricsFlag, *topk, *chunk, *workers, *shardPts, *probe, *quiet, *kernelFlag)
 	} else {
 		var describeSpace func(int) string
-		res, describeSpace = runLocal(ctx, modelFlags, *metricsFlag, *topk, *chunk, *workers, *quiet)
+		res, describeSpace = runLocal(ctx, modelFlags, *metricsFlag, *topk, *chunk, *workers, *quiet, kernel)
 		describe = describeSpace
 	}
 
@@ -119,7 +133,7 @@ func main() {
 
 // runLocal loads bundle files and sweeps in-process, returning the
 // result and a design-point describer backed by the loaded space.
-func runLocal(ctx context.Context, modelFlags []string, metricsFlag string, topk, chunk, workers int, quiet bool) (*sweep.Result, func(int) string) {
+func runLocal(ctx context.Context, modelFlags []string, metricsFlag string, topk, chunk, workers int, quiet bool, kernel ann.KernelMode) (*sweep.Result, func(int) string) {
 	for _, path := range flag.Args() {
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		modelFlags = append(modelFlags, name+"="+path)
@@ -153,7 +167,7 @@ func runLocal(ctx context.Context, modelFlags []string, metricsFlag string, topk
 	set, sp, err := sweep.Resolve(specs, bundles)
 	fatal(err)
 
-	cfg := sweep.Config{TopK: topk, ChunkSize: chunk, Workers: workers}
+	cfg := sweep.Config{TopK: topk, ChunkSize: chunk, Workers: workers, Kernel: kernel}
 	if !quiet {
 		cfg.OnProgress = progressLine()
 	}
@@ -164,11 +178,16 @@ func runLocal(ctx context.Context, modelFlags []string, metricsFlag string, topk
 
 // runCluster fans the sweep out across serve nodes; model arguments
 // name the nodes' registered bundles.
-func runCluster(ctx context.Context, nodeList string, args, modelFlags []string, metricsFlag string, topk, chunk, workers, shardPts int, probe, quiet bool) *sweep.Result {
+func runCluster(ctx context.Context, nodeList string, args, modelFlags []string, metricsFlag string, topk, chunk, workers, shardPts int, probe, quiet bool, kernel string) *sweep.Result {
 	if len(modelFlags) > 0 {
 		fatal(fmt.Errorf("-model name=path loads local bundle files; with -nodes, name the nodes' registered models as plain arguments"))
 	}
-	req := serve.SweepRequest{TopK: topk, Chunk: chunk, Workers: workers}
+	// The flag string goes on the wire as given: an explicit tier —
+	// including "exact" — overrides any node-local -kernel default,
+	// while the empty default omits the field entirely, so requests to
+	// nodes predating the kernel field keep working. Node defaults that
+	// disagree are caught by the partial merge's kernel-label check.
+	req := serve.SweepRequest{TopK: topk, Chunk: chunk, Workers: workers, Kernel: kernel}
 	switch len(args) {
 	case 0: // the nodes' sole registered model
 	case 1:

@@ -24,6 +24,8 @@ var DeterminismScope = map[string][]string{
 	"repro/internal/encoding": nil,
 	"repro/internal/stats":    nil,
 	"repro/internal/explore":  nil,
+	"repro/internal/ann":      nil,
+	"repro/internal/mathx":    nil,
 	"repro/internal/loadsim":  {"pattern.go", "events.go", "schedule.go"},
 }
 

@@ -16,6 +16,13 @@ type Scratch struct {
 	acts   [][]float64 // per layer: rows × layer.out activations
 	deltas [][]float64 // per layer: rows × layer.out backprop deltas
 	grad   []float64   // flat gradient accumulator, aligned with Network.w
+
+	// Float32 tier (KernelFast32): per-call rounded copies of the flat
+	// weight layout and the input batch, plus float32 activations.
+	w32    []float32
+	in32   []float32
+	acts32 [][]float32
+	wT32   []float32 // input-major weight repack for the vector kernel
 }
 
 // NewScratch returns an empty scratch; buffers are sized lazily by the
@@ -57,13 +64,16 @@ func (s *Scratch) ensure(n *Network, rows int, backward bool) {
 // the flat rows × Outputs activation matrix, owned by s and overwritten
 // by its next use. Passing a nil scratch allocates a private one.
 //
-// Outputs are bit-identical to calling Forward on each row; the batched
-// kernel only reorders independent examples, never the floating-point
-// operations within one example.
+// In the default KernelExact mode, outputs are bit-identical to calling
+// Forward on each row; the batched kernel only reorders independent
+// examples, never the floating-point operations within one example. A
+// network configured with a fast kernel tier routes through
+// ForwardBatchKernel instead (training always stays exact).
 func (n *Network) ForwardBatch(xs []float64, rows int, s *Scratch) []float64 {
-	if rows < 0 || len(xs) != rows*n.cfg.Inputs {
-		panic(fmt.Sprintf("ann: batch of %d values is not %d rows × %d inputs", len(xs), rows, n.cfg.Inputs))
-	}
+	return n.ForwardBatchKernel(xs, rows, s, n.cfg.Kernel)
+}
+
+func (n *Network) forwardBatchExact(xs []float64, rows int, s *Scratch) []float64 {
 	if s == nil {
 		s = NewScratch()
 	}
@@ -146,8 +156,10 @@ func (n *Network) TrainBatch(xs, targets []float64, rows int, lr float64, s *Scr
 	}
 	// Forward, keeping every layer's activations for the backward pass
 	// (ensure with backward=true also zeroes the gradient accumulator).
+	// Training always runs the exact kernel regardless of cfg.Kernel:
+	// checkpoints and training curves stay bit-identical.
 	s.ensure(n, rows, true)
-	n.ForwardBatch(xs, rows, s)
+	n.forwardBatchExact(xs, rows, s)
 
 	// Output-layer deltas: δ = (o - t) · f'(o).
 	lastIdx := len(n.layers) - 1

@@ -1,0 +1,19 @@
+package ann
+
+import "repro/internal/cpufeat"
+
+// hidden16AVX2 runs rows forward passes of one 16-unit layer: for each
+// row, dst[r*16+j] = bias[j] + Σ_i xs[r*in+i]·wt[i*16+j], accumulated
+// in ascending input order with one float32 rounding per multiply and
+// per add — exactly the op sequence of the portable forwardBatch32
+// loops, so the two paths produce identical bits (asserted by
+// TestKernelVectorScalarParity). wt is the transpose32 layout:
+// in input-major rows of 16 weights followed by one bias row.
+//
+//go:noescape
+func hidden16AVX2(wt *float32, xs *float32, rows, in int, dst *float32)
+
+// kernelAsm16 reports whether the AVX2 16-unit layer kernel applies.
+func kernelAsm16(l *layer, rows int) bool {
+	return cpufeat.AVX2 && l.out == 16 && l.in > 0 && rows > 0
+}

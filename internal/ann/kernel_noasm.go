@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package ann
+
+// kernelAsm16 is always false without a vector kernel; forwardBatch32
+// runs the portable loops, which compute the same bits.
+func kernelAsm16(l *layer, rows int) bool { return false }
+
+func hidden16AVX2(wt *float32, xs *float32, rows, in int, dst *float32) {
+	panic("ann: hidden16AVX2 is amd64-only")
+}

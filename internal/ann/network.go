@@ -127,6 +127,12 @@ type Config struct {
 	Momentum     float64 // α in Equation 3.2
 	InitRange    float64 // weights start uniform on [-InitRange, +InitRange]
 	Seed         uint64
+
+	// Kernel selects the default ForwardBatch tier (see KernelMode).
+	// The zero value is KernelExact, so existing configs, checkpoints
+	// and parity gates are untouched. Training ignores this and always
+	// runs exact.
+	Kernel KernelMode
 }
 
 // PaperConfig returns the exact hyperparameters of §3.1: one hidden
@@ -366,6 +372,32 @@ func (n *Network) Restore(s [][]float64) {
 		}
 		copy(l.w, s[i])
 	}
+	for j := range n.dwPrev {
+		n.dwPrev[j] = 0
+	}
+}
+
+// SnapshotInto copies all weights into dst, reusing its capacity when
+// possible, and returns it. It is the allocation-free counterpart of
+// Snapshot for callers that snapshot repeatedly (early stopping keeps
+// one buffer alive across hundreds of improvements instead of
+// allocating per-layer slices each time).
+func (n *Network) SnapshotInto(dst []float64) []float64 {
+	if cap(dst) < len(n.w) {
+		dst = make([]float64, len(n.w))
+	}
+	dst = dst[:len(n.w)]
+	copy(dst, n.w)
+	return dst
+}
+
+// RestoreFlat loads weights previously captured by SnapshotInto and
+// clears the momentum state, exactly like Restore.
+func (n *Network) RestoreFlat(src []float64) {
+	if len(src) != len(n.w) {
+		panic("ann: flat snapshot size mismatch")
+	}
+	copy(n.w, src)
 	for j := range n.dwPrev {
 		n.dwPrev[j] = 0
 	}

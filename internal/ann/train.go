@@ -234,22 +234,27 @@ func TrainEarlyStopping(n *Network, train, es *Dataset, un Unscaler, opts TrainO
 
 	lr := n.cfg.LearningRate
 	best := TrainResult{BestESErr: math.Inf(1)}
-	var bestW [][]float64
+	// Flat snapshot buffer, reused across improvements: early stopping
+	// can snapshot hundreds of times per fold, and the per-layer
+	// Snapshot would allocate fresh slices on every one.
+	var bestW []float64
+	haveBest := false
 	sincebest := 0
 
 	for epoch := 1; epoch <= opts.MaxEpochs; epoch++ {
 		presentEpoch(lr)
 		esErr := meanPercentErrorPacked(n, esSet, un, scratch)
-		if esErr < best.BestESErr*(1-opts.MinImprove) || bestW == nil {
+		if esErr < best.BestESErr*(1-opts.MinImprove) || !haveBest {
 			best.BestESErr = esErr
 			best.BestEpoch = epoch
-			bestW = n.Snapshot()
+			bestW = n.SnapshotInto(bestW)
+			haveBest = true
 			sincebest = 0
 		} else {
 			sincebest++
 			if sincebest >= opts.Patience {
 				best.Epochs = epoch
-				n.Restore(bestW)
+				n.RestoreFlat(bestW)
 				return best, nil
 			}
 		}
@@ -258,7 +263,7 @@ func TrainEarlyStopping(n *Network, train, es *Dataset, un Unscaler, opts TrainO
 		}
 	}
 	best.Epochs = opts.MaxEpochs
-	n.Restore(bestW)
+	n.RestoreFlat(bestW)
 	return best, nil
 }
 
@@ -269,7 +274,9 @@ func meanPercentErrorPacked(n *Network, p *packed, un Unscaler, s *Scratch) floa
 	if p.n == 0 {
 		return 0
 	}
-	out := n.ForwardBatch(p.x, p.n, s)
+	// Exact kernel unconditionally: early stopping is part of training
+	// and must not depend on the configured query tier.
+	out := n.forwardBatchExact(p.x, p.n, s)
 	var sum float64
 	count := 0
 	for i := 0; i < p.n; i++ {

@@ -21,10 +21,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
@@ -114,6 +116,11 @@ type Coordinator struct {
 	nodes  []string // normalized base URLs
 	client *http.Client
 	logf   func(format string, args ...any)
+	// binaryOK[i] flips once node i has answered with the binary shard
+	// format; later requests to it are sent binary-encoded (wire
+	// negotiation, see internal/serve/wire.go). The first request to
+	// every node is always JSON, so old nodes never see binary bytes.
+	binaryOK []atomic.Bool
 }
 
 // New validates the node list and builds a coordinator.
@@ -148,6 +155,7 @@ func New(cfg Config) (*Coordinator, error) {
 		seen[node] = true
 		c.nodes = append(c.nodes, node)
 	}
+	c.binaryOK = make([]atomic.Bool, len(c.nodes))
 	return c, nil
 }
 
@@ -330,7 +338,7 @@ func (c *Coordinator) nodeWorker(ctx context.Context, sc *sched, node int, space
 		if sh == nil {
 			return
 		}
-		p, _, err := c.runShard(ctx, c.nodes[node], sh.start, sh.end, spaceName)
+		p, _, err := c.runShard(ctx, node, sh.start, sh.end, spaceName)
 		if err != nil {
 			var rejected *rejectedError
 			switch {
@@ -350,23 +358,37 @@ func (c *Coordinator) nodeWorker(ctx context.Context, sc *sched, node int, space
 }
 
 // runShard executes one POST /v1/sweep/shard against a node and
-// validates the returned partial's identity.
-func (c *Coordinator) runShard(ctx context.Context, node string, start, end int, spaceName string) (*sweep.Partial, float64, error) {
+// validates the returned partial's identity. The wire format is
+// negotiated per node: every request offers the binary response
+// format, and once a node has answered binary its later requests are
+// sent binary-encoded too; the first request is always JSON, so nodes
+// that predate the binary format are never asked to parse it.
+func (c *Coordinator) runShard(ctx context.Context, node int, start, end int, spaceName string) (*sweep.Partial, float64, error) {
+	nodeURL := c.nodes[node]
 	req := serve.ShardRequest{SweepRequest: c.cfg.Request, Start: start, End: end}
-	body, err := json.Marshal(req)
+	var body []byte
+	var err error
+	contentType := "application/json"
+	if c.binaryOK[node].Load() {
+		body, err = req.MarshalBinary()
+		contentType = serve.ShardRequestMediaType
+	} else {
+		body, err = json.Marshal(req)
+	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("cluster: encode shard request: %w", err)
 	}
 	reqCtx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
-	httpReq, err := http.NewRequestWithContext(reqCtx, http.MethodPost, node+"/v1/sweep/shard", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(reqCtx, http.MethodPost, nodeURL+"/v1/sweep/shard", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
 	}
-	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set("Content-Type", contentType)
+	httpReq.Header.Set("Accept", serve.ShardResponseMediaType+", application/json")
 	resp, err := c.client.Do(httpReq)
 	if err != nil {
-		return nil, 0, fmt.Errorf("cluster: node %s: %w", node, err)
+		return nil, 0, fmt.Errorf("cluster: node %s: %w", nodeURL, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -377,7 +399,7 @@ func (c *Coordinator) runShard(ctx context.Context, node string, start, end int,
 		if json.NewDecoder(resp.Body).Decode(&e) == nil {
 			msg = ": " + e.Error
 		}
-		err := fmt.Errorf("cluster: node %s answered HTTP %d%s", node, resp.StatusCode, msg)
+		err := fmt.Errorf("cluster: node %s answered HTTP %d%s", nodeURL, resp.StatusCode, msg)
 		if resp.StatusCode == http.StatusBadRequest {
 			// A 400 rejects the request itself, which every node gets
 			// byte-identically — retrying elsewhere cannot help.
@@ -386,12 +408,21 @@ func (c *Coordinator) runShard(ctx context.Context, node string, start, end int,
 		return nil, 0, err
 	}
 	var doc serve.ShardResponse
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil, 0, fmt.Errorf("cluster: node %s: undecodable shard response: %w", node, err)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), serve.ShardResponseMediaType) {
+		raw, readErr := io.ReadAll(resp.Body)
+		if readErr == nil {
+			readErr = doc.UnmarshalBinary(raw)
+		}
+		if readErr != nil {
+			return nil, 0, fmt.Errorf("cluster: node %s: undecodable binary shard response: %w", nodeURL, readErr)
+		}
+		c.binaryOK[node].Store(true) // proven capable: upgrade request bodies
+	} else if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, 0, fmt.Errorf("cluster: node %s: undecodable shard response: %w", nodeURL, err)
 	}
 	p := doc.Partial
 	if p == nil || p.Start != start || p.End != end || (spaceName != "" && p.Space != spaceName) {
-		return nil, 0, fmt.Errorf("cluster: node %s answered the wrong shard (want %s[%d,%d))", node, spaceName, start, end)
+		return nil, 0, fmt.Errorf("cluster: node %s answered the wrong shard (want %s[%d,%d))", nodeURL, spaceName, start, end)
 	}
 	return p, doc.PointsPerSec, nil
 }
@@ -484,7 +515,7 @@ func (c *Coordinator) probe(ctx context.Context, size, chunk int, spaceName stri
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, pps, err := c.runShard(ctx, c.nodes[i], 0, end, spaceName)
+			_, pps, err := c.runShard(ctx, i, 0, end, spaceName)
 			if err != nil {
 				weights[i], errs[i] = -1, err
 				return

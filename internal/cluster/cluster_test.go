@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/ann"
 	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/encoding"
@@ -161,6 +162,69 @@ func TestClusterMatchesSingleProcess(t *testing.T) {
 		if res.PointsPerSec <= 0 || res.Elapsed <= 0 {
 			t.Fatalf("nodes=%d: missing throughput stamp", n)
 		}
+	}
+}
+
+// legacyNode simulates a node that predates the binary shard format:
+// it strips the Accept header, so the embedded server never answers
+// binary and the coordinator must stay on the JSON path for it.
+func legacyNode(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del("Accept")
+		h.ServeHTTP(w, r)
+	})
+}
+
+// localKernelRun is localRun with an explicit kernel tier.
+func localKernelRun(t *testing.T, topk, chunk int, mode ann.KernelMode) *sweep.Result {
+	t.Helper()
+	b := clusterBundle(t)
+	set, sp, err := sweep.Resolve(sweep.DefaultSpecs([]string{"synth"}),
+		map[string]*bundle.Bundle{"synth": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sweep.Run(context.Background(), sp, set, sweep.Config{TopK: topk, ChunkSize: chunk, Kernel: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestClusterMixedModeKernelSweep is the mixed-deployment smoke test:
+// a fast32 sweep over one binary-capable node and one legacy
+// JSON-only node must (a) negotiate per node — binary flips on for
+// the capable node only — and (b) still merge byte-identically to the
+// single-process fast32 run, because the kernel tier and the wire
+// format are orthogonal to the reduction's bits.
+func TestClusterMixedModeKernelSweep(t *testing.T) {
+	want := canonJSON(t, localKernelRun(t, 5, 8, ann.KernelFast32))
+	modern := newNode(t, nil)
+	legacy := newNode(t, legacyNode)
+	coord, err := New(Config{
+		Nodes:       []string{modern.URL, legacy.URL},
+		Request:     serve.SweepRequest{Model: "synth", TopK: 5, Chunk: 8, Kernel: "fast32"},
+		ShardPoints: 16,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonJSON(t, res); !bytes.Equal(got, want) {
+		t.Fatalf("mixed-mode fast32 cluster diverged from local run\ngot  %s\ngot  %s", got, want)
+	}
+	if res.Kernel != ann.KernelFast32.String() {
+		t.Fatalf("result kernel %q, want fast32", res.Kernel)
+	}
+	if !coord.binaryOK[0].Load() {
+		t.Error("binary-capable node never upgraded to the binary wire format")
+	}
+	if coord.binaryOK[1].Load() {
+		t.Error("legacy node must stay on the JSON path")
 	}
 }
 

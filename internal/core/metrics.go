@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/ann"
 )
 
 // MetricKind selects what a Metric reads off its ensemble.
@@ -152,6 +154,14 @@ func (s *MetricSet) Minimize() []bool {
 // (PredictOutputBatch / PredictOutputVarianceBatch), so sweep results
 // do not depend on which metrics ride along.
 func (s *MetricSet) Eval(xs []float64, rows int, cols [][]float64) {
+	s.EvalKernel(xs, rows, cols, ann.KernelExact)
+}
+
+// EvalKernel is Eval with an explicit kernel tier (see ann.KernelMode):
+// ann.KernelExact is Eval bit for bit, while the fast tiers run the
+// bounded-error kernels — still bit-identical within a mode for any
+// chunking or worker count, so sweep shards agree across a cluster.
+func (s *MetricSet) EvalKernel(xs []float64, rows int, cols [][]float64, mode ann.KernelMode) {
 	if len(cols) != len(s.metrics) {
 		panic(fmt.Sprintf("core: %d metric columns for %d metrics", len(cols), len(s.metrics)))
 	}
@@ -173,7 +183,7 @@ func (s *MetricSet) Eval(xs []float64, rows int, cols [][]float64) {
 			} else {
 				mean, pooled = getMeanScratch(rows), true
 			}
-			mean, variance := g.ens.PredictOutputVarianceBatch(g.output, xs, rows, mean, cols[g.variance[0]])
+			mean, variance := g.ens.PredictOutputVarianceBatchKernel(g.output, xs, rows, mean, cols[g.variance[0]], mode)
 			for _, m := range g.mean[1:] {
 				copy(cols[m], mean)
 			}
@@ -184,9 +194,9 @@ func (s *MetricSet) Eval(xs []float64, rows int, cols [][]float64) {
 				meanScratchPool.Put(&mean)
 			}
 		case len(g.mean) == 1:
-			g.ens.PredictOutputBatch(g.output, xs, rows, cols[g.mean[0]])
+			g.ens.PredictOutputBatchKernel(g.output, xs, rows, cols[g.mean[0]], mode)
 		default:
-			g.ens.PredictOutputBatch(g.output, xs, rows, cols[g.mean[0]])
+			g.ens.PredictOutputBatchKernel(g.output, xs, rows, cols[g.mean[0]], mode)
 			for _, m := range g.mean[1:] {
 				copy(cols[m], cols[g.mean[0]])
 			}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/ann"
 	"repro/internal/encoding"
+	"repro/internal/mathx"
 	"repro/internal/stats"
 )
 
@@ -57,6 +59,16 @@ func (e *Ensemble) PredictBatch(xs []float64, rows int, out []float64) []float64
 // further columns). For output 0 it is the identical computation to
 // PredictBatch — same kernels, same accumulation order, same bits.
 func (e *Ensemble) PredictOutputBatch(output int, xs []float64, rows int, out []float64) []float64 {
+	return e.PredictOutputBatchKernel(output, xs, rows, out, ann.KernelExact)
+}
+
+// PredictOutputBatchKernel is PredictOutputBatch with an explicit
+// kernel tier (see ann.KernelMode). The mode is a per-call argument so
+// one shared ensemble can serve exact and fast queries concurrently;
+// ann.KernelExact reproduces PredictOutputBatch bit for bit, while the
+// fast tiers trade the documented mathx error bounds for throughput
+// and stay bit-identical within a mode across chunking and workers.
+func (e *Ensemble) PredictOutputBatchKernel(output int, xs []float64, rows int, out []float64, mode ann.KernelMode) []float64 {
 	e.checkOutput(output)
 	if rows < 0 || len(xs) != rows*e.Inputs() {
 		panic(fmt.Sprintf("core: batch of %d values is not %d rows × %d inputs", len(xs), rows, e.Inputs()))
@@ -67,8 +79,8 @@ func (e *Ensemble) PredictOutputBatch(output int, xs []float64, rows int, out []
 	if len(out) != rows {
 		panic(fmt.Sprintf("core: output buffer has %d slots for %d rows", len(out), rows))
 	}
-	e.forEachChunk(rows, func(start, end int, s *ann.Scratch, _ []float64) {
-		e.predictRange(output, xs, start, end, out[start:end], s)
+	e.forEachChunk(rows, func(start, end int, s *ann.Scratch, preds []float64) {
+		e.predictRange(output, xs, start, end, out[start:end], s, preds, mode)
 	})
 	return out
 }
@@ -94,6 +106,15 @@ func (e *Ensemble) PredictVarianceBatch(xs []float64, rows int, mean, variance [
 // column output. For output 0 it is the identical computation to
 // PredictVarianceBatch, bit for bit.
 func (e *Ensemble) PredictOutputVarianceBatch(output int, xs []float64, rows int, mean, variance []float64) ([]float64, []float64) {
+	return e.PredictOutputVarianceBatchKernel(output, xs, rows, mean, variance, ann.KernelExact)
+}
+
+// PredictOutputVarianceBatchKernel is PredictOutputVarianceBatch with
+// an explicit kernel tier; see PredictOutputBatchKernel for the mode
+// semantics. The member mean/deviation accumulation is float64 and
+// identical across modes — only the forward kernels and the
+// denormalization transcendental differ on the fast tiers.
+func (e *Ensemble) PredictOutputVarianceBatchKernel(output int, xs []float64, rows int, mean, variance []float64, mode ann.KernelMode) ([]float64, []float64) {
 	e.checkOutput(output)
 	if rows < 0 || len(xs) != rows*e.Inputs() {
 		panic(fmt.Sprintf("core: batch of %d values is not %d rows × %d inputs", len(xs), rows, e.Inputs()))
@@ -111,10 +132,17 @@ func (e *Ensemble) PredictOutputVarianceBatch(output int, xs []float64, rows int
 	e.forEachChunk(rows, func(start, end int, s *ann.Scratch, preds []float64) {
 		cnt := end - start
 		// preds[m*cnt+r] is member m's prediction for row start+r.
-		for m, n := range e.nets {
-			outM := n.ForwardBatch(xs[start*e.Inputs():end*e.Inputs()], cnt, s)
-			for r := 0; r < cnt; r++ {
-				preds[m*cnt+r] = e.untransform(e.scalers[output].Unscale(outM[r*e.outputs+output]))
+		if mode == ann.KernelExact {
+			for m, n := range e.nets {
+				outM := n.ForwardBatchKernel(xs[start*e.Inputs():end*e.Inputs()], cnt, s, ann.KernelExact)
+				for r := 0; r < cnt; r++ {
+					preds[m*cnt+r] = e.untransform(e.scalers[output].Unscale(outM[r*e.outputs+output]))
+				}
+			}
+		} else {
+			for m, n := range e.nets {
+				outM := n.ForwardBatchKernel(xs[start*e.Inputs():end*e.Inputs()], cnt, s, mode)
+				e.denormalizeFast(output, outM, cnt, preds[m*cnt:(m+1)*cnt])
 			}
 		}
 		// Same accumulation order as the per-point PredictVariance:
@@ -136,6 +164,22 @@ func (e *Ensemble) PredictOutputVarianceBatch(output int, xs []float64, rows int
 		}
 	})
 	return mean, variance
+}
+
+// denormalizeFast maps one member's model-space output column back to
+// the raw target range for the fast kernel tiers: the affine unscale is
+// fused (math.FMA, correctly rounded everywhere) and a log-transformed
+// target uses the bounded-error mathx exponential in one batch pass
+// instead of a library call per element.
+func (e *Ensemble) denormalizeFast(output int, outM []float64, cnt int, dst []float64) {
+	sc := e.scalers[output]
+	span := sc.Hi - sc.Lo
+	for r := 0; r < cnt; r++ {
+		dst[r] = math.FMA(outM[r*e.outputs+output], span, sc.Lo)
+	}
+	if e.logT {
+		mathx.ExpSlice(dst[:cnt])
+	}
 }
 
 // PredictIndices encodes the design-point indices through enc and
@@ -186,16 +230,27 @@ func (e *Ensemble) TrueError(enc *encoding.Encoder, idxs []int, truth []float64)
 }
 
 // predictRange scores rows [start, end) on one output column into out,
-// reusing s.
-func (e *Ensemble) predictRange(output int, xs []float64, start, end int, out []float64, s *ann.Scratch) {
+// reusing s; tmp is a ≥cnt scratch column for the fast tiers'
+// batched denormalization.
+func (e *Ensemble) predictRange(output int, xs []float64, start, end int, out []float64, s *ann.Scratch, tmp []float64, mode ann.KernelMode) {
 	cnt := end - start
 	for i := range out {
 		out[i] = 0
 	}
-	for _, n := range e.nets {
-		outM := n.ForwardBatch(xs[start*e.Inputs():end*e.Inputs()], cnt, s)
-		for r := 0; r < cnt; r++ {
-			out[r] += e.untransform(e.scalers[output].Unscale(outM[r*e.outputs+output]))
+	if mode == ann.KernelExact {
+		for _, n := range e.nets {
+			outM := n.ForwardBatchKernel(xs[start*e.Inputs():end*e.Inputs()], cnt, s, ann.KernelExact)
+			for r := 0; r < cnt; r++ {
+				out[r] += e.untransform(e.scalers[output].Unscale(outM[r*e.outputs+output]))
+			}
+		}
+	} else {
+		for _, n := range e.nets {
+			outM := n.ForwardBatchKernel(xs[start*e.Inputs():end*e.Inputs()], cnt, s, mode)
+			e.denormalizeFast(output, outM, cnt, tmp[:cnt])
+			for r := 0; r < cnt; r++ {
+				out[r] += tmp[r]
+			}
 		}
 	}
 	members := float64(len(e.nets))

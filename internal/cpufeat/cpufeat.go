@@ -1,0 +1,11 @@
+// Package cpufeat detects the few CPU features the optional
+// vectorized kernels in this repo are gated on. Feature bits only ever
+// select between implementations that are bit-identical by
+// construction (see internal/mathx and internal/ann), so detection can
+// never change results — only speed.
+package cpufeat
+
+// AVX2 reports whether the CPU supports AVX2 and the OS saves the YMM
+// register state (OSXSAVE + XCR0 bits 1 and 2). False on every
+// non-amd64 architecture.
+var AVX2 = hasAVX2()

@@ -1,0 +1,5 @@
+//go:build !amd64
+
+package cpufeat
+
+func hasAVX2() bool { return false }

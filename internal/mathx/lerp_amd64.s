@@ -1,0 +1,50 @@
+#include "textflag.h"
+
+// func lerpGatherAVX2(xs *float32, n int, tab *float32, invH, bias, maxU float32)
+//
+// Vectorized mirror of (*table).at32: u = x*invH + bias (each step
+// single-rounded), clamp to [0, maxU] with NaN -> 0, i = trunc(u),
+// f = u - float32(i), then tab[i] + f*(tab[i+1]-tab[i]) with one
+// rounding per operation. Operand order on VMAXPS/VMINPS matters: the
+// second source is returned on unordered compares, so placing the
+// constant there maps NaN to the lower edge exactly like the scalar
+// clamp.
+TEXT ·lerpGatherAVX2(SB), NOSPLIT, $0-36
+	MOVQ xs+0(FP), DI
+	MOVQ n+8(FP), CX
+	MOVQ tab+16(FP), SI
+	VBROADCASTSS invH+24(FP), Y1
+	VBROADCASTSS bias+28(FP), Y2
+	VBROADCASTSS maxU+32(FP), Y3
+	VXORPS Y4, Y4, Y4           // zeros
+	MOVL $1, AX
+	MOVQ AX, X5
+	VPBROADCASTD X5, Y5         // dword ones
+
+loop:
+	CMPQ CX, $8
+	JLT done
+	VMOVUPS (DI), Y6
+	VMULPS Y1, Y6, Y6           // u = x*invH        (rounded)
+	VADDPS Y2, Y6, Y6           // u += bias          (rounded)
+	VMAXPS Y4, Y6, Y6           // max(u, 0); NaN -> src2 = 0
+	VMINPS Y3, Y6, Y6           // min(u, maxU)
+	VCVTTPS2DQ Y6, Y7           // i = trunc(u), 0 <= i <= n-1
+	VCVTDQ2PS Y7, Y8            // float32(i), exact
+	VSUBPS Y8, Y6, Y9           // f = u - float32(i)
+	VPCMPEQD Y10, Y10, Y10      // gather mask (consumed by the gather)
+	VPGATHERDD Y10, (SI)(Y7*4), Y11   // lo = tab[i]
+	VPADDD Y5, Y7, Y12          // i+1
+	VPCMPEQD Y10, Y10, Y10
+	VPGATHERDD Y10, (SI)(Y12*4), Y13  // hi = tab[i+1]
+	VSUBPS Y11, Y13, Y14        // d = hi - lo        (rounded)
+	VMULPS Y9, Y14, Y14         // f*d                (rounded)
+	VADDPS Y11, Y14, Y14        // lo + f*d           (rounded)
+	VMOVUPS Y14, (DI)
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JMP loop
+
+done:
+	VZEROUPPER
+	RET

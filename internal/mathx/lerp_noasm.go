@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package mathx
+
+// sliceLerp32 has no vectorized implementation on this architecture;
+// slice32 runs the scalar at32 loop, which computes the same bits.
+func sliceLerp32(t *table, xs []float32) int { return 0 }

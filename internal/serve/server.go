@@ -67,6 +67,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 )
 
@@ -85,6 +86,9 @@ type Server struct {
 	jobs *JobStore
 	mux  *http.ServeMux
 	ctr  counters
+	// kernel is the forward-kernel tier applied to sweep and shard
+	// requests whose "kernel" field is empty (zero value: exact).
+	kernel ann.KernelMode
 }
 
 // New builds a server over reg, serving queries only.
@@ -111,6 +115,18 @@ func NewWithJobs(reg *Registry, jobs *JobStore) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	return s
+}
+
+// SetDefaultKernel sets the forward-kernel tier for sweep and shard
+// requests that leave "kernel" unset (the -kernel flag on cmd/serve).
+// Cluster deployments must configure every node identically, exactly
+// like registries — the partial merge rejects kernel-label drift.
+// Call before serving; the field is not synchronized afterwards.
+func (s *Server) SetDefaultKernel(mode ann.KernelMode) {
+	s.kernel = mode
+	if s.jobs != nil {
+		s.jobs.kernel = mode
+	}
 }
 
 // ServeHTTP implements http.Handler. Every request passes through the

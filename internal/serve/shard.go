@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/sweep"
@@ -33,9 +35,24 @@ type ShardResponse struct {
 // The response partial is a pure function of (registered bundles,
 // request), whatever node answers; a disconnect cancels the engine via
 // the request context.
+//
+// Requests and responses speak JSON by default and the compact binary
+// format by negotiation (see wire.go): a binary Content-Type selects
+// the binary request decoder, and an Accept header offering
+// ShardResponseMediaType gets the binary response body. Errors are
+// JSON on every path.
 func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
 	var req ShardRequest
-	if err := decodeBody(r, &req); err != nil {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), ShardRequestMediaType) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err == nil {
+			err = req.UnmarshalBinary(body)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+			return
+		}
+	} else if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -48,6 +65,7 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
 		TopK:      req.TopK,
 		ChunkSize: req.Chunk,
 		Workers:   req.engineWorkers(),
+		Kernel:    req.kernelMode(s.kernel),
 		Start:     req.Start,
 		End:       req.End,
 	}
@@ -64,6 +82,17 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
 	resp := ShardResponse{Partial: p, Elapsed: elapsed}
 	if secs := elapsed.Seconds(); secs > 0 {
 		resp.PointsPerSec = float64(p.End-p.Start) / secs
+	}
+	if acceptsShardBinary(r.Header.Get("Accept")) {
+		data, err := resp.MarshalBinary()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", ShardResponseMediaType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

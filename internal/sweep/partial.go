@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"fmt"
+
+	"repro/internal/ann"
 )
 
 // Partial is the serializable reduction of one contiguous shard of a
@@ -29,6 +31,11 @@ type Partial struct {
 	// K is the resolved per-metric leaderboard size (0 = frontier
 	// only); partials must agree on it to merge.
 	K int `json:"k"`
+	// Kernel names the kernel tier the shard ran under ("" = exact,
+	// matching partials from nodes that predate kernel tiers). The fast
+	// tiers are only bit-identical within a mode, so Merge refuses to
+	// combine partials computed under different kernels.
+	Kernel string `json:"kernel,omitempty"`
 	// Metrics names the value columns of every Point, in order, with
 	// their ranking directions.
 	Metrics []MetricInfo `json:"metrics"`
@@ -38,6 +45,24 @@ type Partial struct {
 	// Frontier is the shard-local Pareto-optimal set, in ascending
 	// index order.
 	Frontier []Point `json:"frontier"`
+}
+
+// kernelLabel renders a kernel mode as the wire label: the exact
+// default stays the empty string so documents and partials from
+// pre-kernel-tier nodes compare (and merge) as exact.
+func kernelLabel(m ann.KernelMode) string {
+	if m == ann.KernelExact {
+		return ""
+	}
+	return m.String()
+}
+
+// kernelOrExact names a wire label for error messages.
+func kernelOrExact(label string) string {
+	if label == "" {
+		return "exact"
+	}
+	return label
 }
 
 // minimizeDirs extracts the per-column ranking directions.
@@ -77,6 +102,9 @@ func (p *Partial) Merge(o *Partial) error {
 			p.Start, p.End, o.Start, o.End)
 	case o.K != p.K:
 		return fmt.Errorf("sweep: partials disagree on leaderboard size (%d vs %d)", p.K, o.K)
+	case o.Kernel != p.Kernel:
+		return fmt.Errorf("sweep: partials ran different kernel tiers (%q vs %q); results are only bit-identical within one mode",
+			kernelOrExact(p.Kernel), kernelOrExact(o.Kernel))
 	case !metricsEqual(p.Metrics, o.Metrics):
 		return fmt.Errorf("sweep: partials rank by different metrics (%v vs %v)", p.Metrics, o.Metrics)
 	}
@@ -119,6 +147,7 @@ func (p *Partial) Result() *Result {
 		Space:    p.Space,
 		Points:   p.End - p.Start,
 		Metrics:  append([]MetricInfo(nil), p.Metrics...),
+		Kernel:   p.Kernel,
 		Frontier: p.Frontier,
 	}
 	if p.K > 0 {

@@ -134,6 +134,13 @@ func equalValues(a, b []float64) bool {
 
 // offer considers one candidate; values may be a reused buffer — it is
 // copied only if the candidate joins the frontier.
+//
+// Rejections move the dominating point to the front of the scan order:
+// a point that dominates once tends to dominate a long run of
+// neighboring candidates, so the streaming common case exits after one
+// comparison instead of O(frontier). The membership rules are
+// properties of the point set, so internal order is free to permute —
+// sorted() canonicalizes before anything observable.
 func (f *frontier) offer(index int, values []float64) {
 	for i := range f.pts {
 		q := &f.pts[i]
@@ -144,6 +151,9 @@ func (f *frontier) offer(index int, values []float64) {
 			return
 		}
 		if dominates(f.minimize, q.Values, values) {
+			if i > 0 {
+				f.pts[0], f.pts[i] = f.pts[i], f.pts[0]
+			}
 			return
 		}
 	}

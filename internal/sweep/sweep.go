@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/space"
@@ -79,6 +80,12 @@ type Config struct {
 	// OnProgress, when non-nil, is called from the reducer — in chunk
 	// order, on the Run goroutine — as chunks complete.
 	OnProgress func(done, total int)
+	// Kernel selects the forward-kernel tier (see ann.KernelMode). The
+	// zero value is the bit-identical exact kernel; the fast tiers are
+	// bounded-error and bit-identical within a mode, so every shard of
+	// a distributed sweep must run the same kernel (Partial records it
+	// and Merge enforces agreement).
+	Kernel ann.KernelMode
 }
 
 // MetricInfo names one result column and its ranking direction.
@@ -98,6 +105,9 @@ type Result struct {
 	// TopK holds one best-first leaderboard per metric (empty when the
 	// sweep ran frontier-only).
 	TopK [][]Point `json:"topk,omitempty"`
+	// Kernel names the non-default kernel tier the sweep ran under
+	// (empty = exact; see ann.KernelMode).
+	Kernel string `json:"kernel,omitempty"`
 	// Frontier is the Pareto-optimal set over all metrics, in
 	// ascending index order.
 	Frontier []Point `json:"frontier"`
@@ -252,7 +262,7 @@ func RunPartial(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg C
 				for m := range cols {
 					view[m] = cols[m][:rows]
 				}
-				set.Eval(xs[:rows*width], rows, view)
+				set.EvalKernel(xs[:rows*width], rows, view, cfg.Kernel)
 				p := chunkPart{id: c - firstChunk, rows: rows, front: newFrontier(minimize)}
 				for m := range metrics {
 					p.tops = append(p.tops, newTopK(m, minimize[m], topk))
@@ -325,6 +335,7 @@ func RunPartial(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg C
 		Start:    first,
 		End:      last,
 		K:        topk,
+		Kernel:   kernelLabel(cfg.Kernel),
 		Frontier: front.sorted(),
 	}
 	for _, m := range metrics {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/ann"
 	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/encoding"
@@ -148,6 +149,37 @@ func TestRunBitIdenticalAcrossWorkers(t *testing.T) {
 			continue
 		}
 		sameReduction(t, "workers", base, got)
+	}
+}
+
+// TestRunKernelBitIdentity extends the sharding guarantee to the fast
+// kernel tiers: within a mode, the sweep reduction is byte-identical
+// for every worker count and chunk size (the distributed-sweep
+// invariant the ISSUE's kernel work must preserve). Modes are free to
+// differ from each other — each one is its own deterministic function
+// of the inputs.
+func TestRunKernelBitIdentity(t *testing.T) {
+	set, sp := testSet(t)
+	for _, mode := range []ann.KernelMode{ann.KernelFast, ann.KernelFast32} {
+		var base *Result
+		for _, workers := range []int{1, 4, 16} {
+			for _, chunk := range []int{9, 64, 512} {
+				got, err := Run(context.Background(), sp, set, Config{
+					TopK: 5, ChunkSize: chunk, Workers: workers, Kernel: mode,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if base == nil {
+					base = got
+					continue
+				}
+				sameReduction(t, mode.String(), base, got)
+			}
+		}
+		if base.Kernel != mode.String() {
+			t.Fatalf("result kernel label %q, want %q", base.Kernel, mode)
+		}
 	}
 }
 
