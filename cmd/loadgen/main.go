@@ -31,7 +31,15 @@
 // single-point predicts, small prediction batches, and variance
 // queries; scheduled "sweep" events add heavyweight batch requests
 // mid-run, and "maint"/"surge" windows reshape the offered curve. With
-// several -target nodes, requests round-robin deterministically.
+// several -target nodes, requests round-robin deterministically. A
+// zipf_s term in -mix skews point popularity so the server's
+// prediction cache sees realistic hot keys, graded by the cache_hit
+// SLO metric; 429s from admission control count as "rejected", graded
+// separately from errors.
+//
+// Server-side counters (coalescing efficiency, cache hit rate) are
+// scraped from GET /metrics, falling back to /v1/stats on servers that
+// predate the endpoint.
 //
 // -train-demo trains a small simulator-backed bundle and writes it to
 // the given path, so a self-contained smoke soak needs no prior
@@ -75,7 +83,7 @@ func main() {
 	model := flag.String("model", "", "model to drive (default: the target's single loaded model)")
 	patternSpec := flag.String("pattern", "diurnal", "load pattern spec (constant|ramp|diurnal|spike terms joined by +, or a preset)")
 	eventSpec := flag.String("events", "", "scheduled events, e.g. 'maint@12h+30m;surge@18h+10m:mult=3;sweep@6h:rows=2048'")
-	mixSpec := flag.String("mix", "", "request mix, e.g. predict=90,batch=5,variance=5,rows=32")
+	mixSpec := flag.String("mix", "", "request mix, e.g. predict=90,batch=5,variance=5,rows=32,zipf_s=1.1,zipf_n=1024 (zipf_s>0 skews point popularity so caches have something to hit)")
 	duration := flag.Duration("duration", time.Hour, "simulated length of the run")
 	interval := flag.Duration("interval", 0, "timeline bucket width in simulated time (default duration/48)")
 	clockMode := flag.String("clock", "real", "real (wall pacing at -time-scale) or simulated (no pacing)")
@@ -84,8 +92,8 @@ func main() {
 	workers := flag.Int("workers", 16, "max in-flight requests")
 	timelinePath := flag.String("timeline", "", "write the bucketed timeline here (.csv or .json by extension)")
 	reportPath := flag.String("report", "", "write the JSON run report here (default stdout)")
-	sloSpec := flag.String("slo", "", "SLO clauses, e.g. 'p99<50ms,error_rate<0.1%,completion>99.9%'")
-	noStats := flag.Bool("no-stats", false, "skip polling /v1/stats (older servers)")
+	sloSpec := flag.String("slo", "", "SLO clauses, e.g. 'p99<50ms,error_rate<0.1%,rejected<1%,cache_hit>=50%,dropped<1,completion>99.9%'")
+	noStats := flag.Bool("no-stats", false, "skip polling server counters (GET /metrics, falling back to /v1/stats)")
 	trainDemo := flag.String("train-demo", "", "train a small simulator-backed demo bundle, write it here, and exit")
 	flag.Parse()
 
@@ -158,8 +166,8 @@ func main() {
 
 	s := res.Summary
 	fmt.Fprintf(os.Stderr,
-		"loadgen: offered %d, done %d (%.4g%% errors), p50/p95/p99 %.3g/%.3g/%.3g ms, %.5g req/s wall, coalesce %.3g, %.3gs wall\n",
-		s.Offered, s.Done, s.ErrorRate*100, s.P50MS, s.P95MS, s.P99MS, s.WallRPS, s.Coalesce, s.WallSecs)
+		"loadgen: offered %d, done %d (%.4g%% errors, %.4g%% rejected), p50/p95/p99 %.3g/%.3g/%.3g ms, %.5g req/s wall, coalesce %.3g, cache hit %.4g%%, %.3gs wall\n",
+		s.Offered, s.Done, s.ErrorRate*100, s.RejectRate*100, s.P50MS, s.P95MS, s.P99MS, s.WallRPS, s.Coalesce, s.CacheHit*100, s.WallSecs)
 	for _, v := range rep.Violations {
 		fmt.Fprintf(os.Stderr, "loadgen: SLO VIOLATION %s: measured %g, limit %g\n", v.Clause, v.Measured, v.Limit)
 	}

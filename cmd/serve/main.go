@@ -74,7 +74,11 @@ func main() {
 	jobQueue := flag.Int("job-queue", 16, "exploration jobs queued beyond the running ones before 429s")
 	defaultInsts := flag.Int("insts", 30000, "default instructions per simulation for exploration jobs")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiles on this address (e.g. localhost:6060; empty = off)")
-	kernelFlag := flag.String("kernel", "", "forward-kernel tier for sweep requests that don't name one: exact (default, bit-identical), fast, or fast32 (bounded-error)")
+	kernelFlag := flag.String("kernel", "", "forward-kernel tier for predict/sweep requests that don't name one: exact (default, bit-identical), fast, or fast32 (bounded-error)")
+	cacheSize := flag.Int("cache-size", 0, "exact prediction cache entries across all models (0 disables caching)")
+	rate := flag.Float64("rate", 0, "per-client sustained requests/second before 429s (0 disables rate limiting)")
+	burst := flag.Int("burst", 0, "per-client burst headroom above -rate (0 = 1)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrently admitted model requests before 429s (0 = unbounded)")
 	var models []string
 	flag.Func("model", "name=bundle.json model to serve (repeatable)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -95,14 +99,18 @@ func main() {
 	}
 
 	reg := serve.NewRegistry()
+	if *cacheSize > 0 {
+		// Before any Add: each model's coalescer captures the cache at
+		// registration.
+		reg.EnableCache(*cacheSize)
+		fmt.Printf("exact prediction cache: %d entries\n", *cacheSize)
+	}
 	opts := serve.CoalesceOpts{MaxBatch: *maxBatch, Linger: *linger}
 	for _, spec := range models {
 		name, path, _ := strings.Cut(spec, "=")
-		b, err := bundle.ReadFile(path)
+		m, err := reg.AddFile(name, path, opts, *workers)
 		fatal(err)
-		b.Ensemble.SetWorkers(*workers)
-		_, err = reg.Add(name, b, opts)
-		fatal(err)
+		b := m.Bundle
 		est := b.Ensemble.Estimate()
 		fmt.Printf("loaded %-16s %s space, %d points, %d members, estimated %.2f%% ± %.2f%% (%s/%s, %d sims)\n",
 			name, b.Space.Name, b.Space.Size(), b.Ensemble.Members(),
@@ -134,7 +142,11 @@ func main() {
 		// Requests naming their own tier still win; a cluster must set
 		// the same default on every node (the merge rejects drift).
 		handler.SetDefaultKernel(kernel)
-		fmt.Printf("default sweep kernel: %s\n", kernel)
+		fmt.Printf("default kernel: %s\n", kernel)
+	}
+	if *rate > 0 || *maxInflight > 0 {
+		handler.SetAdmission(*rate, *burst, *maxInflight)
+		fmt.Printf("admission control: rate=%g/s burst=%d max-inflight=%d\n", *rate, *burst, *maxInflight)
 	}
 
 	fmt.Printf("serving %d model(s) on %s\n", reg.Len(), *addr)

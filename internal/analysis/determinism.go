@@ -27,6 +27,10 @@ var DeterminismScope = map[string][]string{
 	"repro/internal/ann":      nil,
 	"repro/internal/mathx":    nil,
 	"repro/internal/loadsim":  {"pattern.go", "events.go", "schedule.go"},
+	// serve's hardening layer: the cache must key purely on
+	// (version, kernel, index) and the limiter/metrics files funnel
+	// every wall read through one annotated nowMono() site.
+	"repro/internal/serve": {"cache.go", "limiter.go", "metrics.go"},
 }
 
 // forbiddenRandImports are nondeterministic (platform- or

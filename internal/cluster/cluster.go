@@ -6,7 +6,10 @@
 // bounded in-flight concurrency (optionally weighted by a probed
 // per-node points/s), requeues shards whose node fails or times out
 // onto the surviving nodes, and merges the returned partial
-// reductions strictly in shard order.
+// reductions strictly in shard order. A node answering 429 under
+// admission control is back-pressure, not failure: the dispatch slot
+// honors the Retry-After hint and re-sends the shard without charging
+// the node a strike.
 //
 // Because every shard partial is a pure function of (loaded bundles,
 // request, range) and the merge algebra is associative (see
@@ -24,6 +27,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -217,6 +221,43 @@ type rejectedError struct{ err error }
 func (e *rejectedError) Error() string { return e.err.Error() }
 func (e *rejectedError) Unwrap() error { return e.err }
 
+// throttledError marks an HTTP 429 — the node shed the shard under
+// admission control. That is back-pressure, not a node failure: the
+// dispatch slot honors the advertised Retry-After and tries the same
+// shard again without charging the node a strike.
+type throttledError struct {
+	after time.Duration
+	err   error
+}
+
+func (e *throttledError) Error() string { return e.err.Error() }
+func (e *throttledError) Unwrap() error { return e.err }
+
+// Throttle-retry bounds: how many consecutive 429s one dispatch slot
+// absorbs for a single shard before treating them as a real failure,
+// and the clamp on the server's Retry-After hint.
+const (
+	maxThrottleRetries = 8
+	minRetryAfter      = 100 * time.Millisecond
+	maxRetryAfter      = 5 * time.Second
+)
+
+// parseRetryAfter reads a Retry-After header (delta-seconds form) into
+// a bounded wait. Absent or unparseable values default to one second.
+func parseRetryAfter(h string) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil {
+		d = time.Duration(secs) * time.Second
+	}
+	if d < minRetryAfter {
+		d = minRetryAfter
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
+
 // Run executes the coordinated sweep: discovery, optional probing,
 // shard planning, weighted dispatch with failure requeue, and the
 // ordered merge. The result is bit-identical to a single-process
@@ -331,14 +372,33 @@ func (c *Coordinator) Run(ctx context.Context) (*sweep.Result, error) {
 
 // nodeWorker is one dispatch slot: it pulls the lowest-id runnable
 // shard, runs it on its node, and either delivers the partial or
-// hands the shard back for requeue.
+// hands the shard back for requeue. 429s are absorbed in place: the
+// slot waits out the node's Retry-After and re-sends the same shard,
+// up to maxThrottleRetries consecutive times, without charging the
+// node a failure strike.
 func (c *Coordinator) nodeWorker(ctx context.Context, sc *sched, node int, spaceName string, results chan<- shardResult) {
 	for {
 		sh := sc.next(node)
 		if sh == nil {
 			return
 		}
-		p, _, err := c.runShard(ctx, node, sh.start, sh.end, spaceName)
+		var p *sweep.Partial
+		var err error
+		for attempt := 0; ; attempt++ {
+			p, _, err = c.runShard(ctx, node, sh.start, sh.end, spaceName)
+			var throttled *throttledError
+			if err == nil || ctx.Err() != nil || !errors.As(err, &throttled) || attempt >= maxThrottleRetries {
+				break
+			}
+			c.logf("cluster: node %s throttled shard [%d,%d); retrying in %v (attempt %d/%d)",
+				c.nodes[node], sh.start, sh.end, throttled.after, attempt+1, maxThrottleRetries)
+			t := time.NewTimer(throttled.after)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
 		if err != nil {
 			var rejected *rejectedError
 			switch {
@@ -400,10 +460,13 @@ func (c *Coordinator) runShard(ctx context.Context, node int, start, end int, sp
 			msg = ": " + e.Error
 		}
 		err := fmt.Errorf("cluster: node %s answered HTTP %d%s", nodeURL, resp.StatusCode, msg)
-		if resp.StatusCode == http.StatusBadRequest {
+		switch resp.StatusCode {
+		case http.StatusBadRequest:
 			// A 400 rejects the request itself, which every node gets
 			// byte-identically — retrying elsewhere cannot help.
 			err = &rejectedError{err}
+		case http.StatusTooManyRequests:
+			err = &throttledError{after: parseRetryAfter(resp.Header.Get("Retry-After")), err: err}
 		}
 		return nil, 0, err
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/ann"
 	"repro/internal/bundle"
@@ -445,6 +446,72 @@ func TestSlotPlan(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("slotPlan = %v, want %v", got, want)
+		}
+	}
+}
+
+// throttlingNode wraps a serve handler so the first `shed` shard
+// requests answer 429 with a Retry-After hint — a node under admission
+// control pushing back without failing.
+func throttlingNode(shed int64) (func(http.Handler) http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep/shard" && calls.Add(1) <= shed {
+				w.Header().Set("Retry-After", "0") // clamped to the 100ms floor
+				w.WriteHeader(http.StatusTooManyRequests)
+				w.Write([]byte(`{"error":"admission control: rate"}`))
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	}, &calls
+}
+
+// TestClusterHonorsRetryAfter: a 429 is back-pressure, not a failure.
+// The only node sheds the first three shard requests; with
+// NodeFailures=1 a single mischarged strike would retire it and fail
+// the sweep, so success here proves throttling never touches the
+// strike ledger — and the result still matches the single-process run
+// bit for bit.
+func TestClusterHonorsRetryAfter(t *testing.T) {
+	want := canonJSON(t, localRun(t, 5, 8))
+	mw, calls := throttlingNode(3)
+	coord, err := New(Config{
+		Nodes:        []string{newNode(t, mw).URL},
+		Request:      serve.SweepRequest{Model: "synth", TopK: 5, Chunk: 8},
+		ShardPoints:  16,
+		InFlight:     1,
+		NodeFailures: 1,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatalf("sweep failed under throttling: %v", err)
+	}
+	if got := canonJSON(t, res); !bytes.Equal(got, want) {
+		t.Fatalf("throttled result diverged\ngot  %s\nwant %s", got, want)
+	}
+	if calls.Load() < 4 {
+		t.Fatalf("node saw %d shard calls; the 429 path never ran", calls.Load())
+	}
+}
+
+// TestParseRetryAfter pins the header parsing and its clamp.
+func TestParseRetryAfter(t *testing.T) {
+	for h, want := range map[string]time.Duration{
+		"2":       2 * time.Second,
+		" 3 ":     3 * time.Second,
+		"0":       minRetryAfter,
+		"9999":    maxRetryAfter,
+		"":        time.Second,
+		"garbage": time.Second,
+	} {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -24,7 +25,11 @@ type Outcome string
 const (
 	OutcomeOK        Outcome = "ok"         // 2xx with a complete body
 	OutcomeHTTPError Outcome = "http_error" // complete non-2xx response
-	OutcomeRejected  Outcome = "rejected"   // connection never established (dial failed)
+	// OutcomeRejected is a request the server turned away before doing
+	// any work: a 429 from admission control, or a connection that never
+	// established (dial failed). Rejections are load shedding, not
+	// failures, and are graded by their own SLO term.
+	OutcomeRejected Outcome = "rejected"
 	// OutcomeReset is a connection that established but died before any
 	// response bytes — the request never reached a handler (e.g. the
 	// accept queue was torn down at shutdown).
@@ -148,6 +153,9 @@ func (c *Client) Do(ctx context.Context, model string, ordinal int, kind ReqKind
 	if rerr != nil {
 		return OutcomeDropped, lat
 	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return OutcomeRejected, lat
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return OutcomeHTTPError, lat
 	}
@@ -162,6 +170,84 @@ func classifyTransportErr(err error) Outcome {
 		return OutcomeRejected
 	}
 	return OutcomeReset
+}
+
+// ServerTotals are the server-side cumulative counters the timeline
+// attributes to buckets as deltas. Scraped from GET /metrics
+// (Prometheus text exposition); CoalesceTotals fills the coalescer pair
+// from /v1/stats for servers that predate the endpoint.
+type ServerTotals struct {
+	CoalReqs       int64 // single-point requests answered by coalescers
+	CoalFlushes    int64 // kernel calls spent answering them
+	CacheHits      int64 // prediction-cache hits
+	CacheMisses    int64 // prediction-cache misses
+	RateRejections int64 // 429s from admission control (rate + in-flight)
+}
+
+// metricFamilies maps scraped /metrics family names onto ServerTotals
+// fields. Counters are summed across labels (models, reject reasons)
+// and across targets.
+var metricFamilies = map[string]func(*ServerTotals, float64){
+	"repro_model_requests_total":       func(t *ServerTotals, v float64) { t.CoalReqs += int64(v) },
+	"repro_model_flushes_total":        func(t *ServerTotals, v float64) { t.CoalFlushes += int64(v) },
+	"repro_cache_hits_total":           func(t *ServerTotals, v float64) { t.CacheHits += int64(v) },
+	"repro_cache_misses_total":         func(t *ServerTotals, v float64) { t.CacheMisses += int64(v) },
+	"repro_ratelimit_rejections_total": func(t *ServerTotals, v float64) { t.RateRejections += int64(v) },
+}
+
+// MetricsTotals scrapes GET /metrics on every target and sums the
+// counter families the harness grades. ok reports whether at least one
+// target exposed the endpoint — when false the caller should fall back
+// to CoalesceTotals (older servers).
+func (c *Client) MetricsTotals(ctx context.Context) (totals ServerTotals, ok bool) {
+	for _, t := range c.targets {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, t+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			continue
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		parsePromText(string(raw), &totals)
+		ok = true
+	}
+	return totals, ok
+}
+
+// parsePromText folds one Prometheus text document into totals. Only
+// sample lines whose family is in metricFamilies contribute; labels are
+// ignored beyond delimiting the family name (the harness wants sums).
+func parsePromText(doc string, totals *ServerTotals) {
+	for _, line := range strings.Split(doc, "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name := line
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		} else if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		add, want := metricFamilies[name]
+		if !want {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		add(totals, v)
+	}
 }
 
 // statsResponse is the slice of /v1/stats the timeline needs.

@@ -93,6 +93,8 @@ func FuzzSLOSpec(f *testing.F) {
 	f.Add("p99<50ms,error_rate<0.1%", 12.5)
 	f.Add("completion>99.9%, wall_rps>100, coalesce_batch>=2", 0.0)
 	f.Add("mean<=1500us,max<2s,p50<1ms,p95<10ms", -3.0)
+	f.Add("cache_hit>=50%,rejected<0.5%,dropped<1", 0.42)
+	f.Add("cache_hit>0.5, rejected<=1%, dropped<=0", 1.0)
 	f.Fuzz(func(t *testing.T, spec string, measured float64) {
 		slo, err := ParseSLO(spec)
 		if err != nil {
@@ -107,9 +109,10 @@ func FuzzSLOSpec(f *testing.F) {
 			}
 		}
 		s := Summary{
-			Offered: 1, Done: 1,
-			ErrorRate: measured, Complete: measured,
-			P50MS: measured, P95MS: measured, P99MS: measured,
+			Offered: 1, Done: 1, Rejected: 1, Dropped: 1,
+			ErrorRate: measured, RejectRate: measured, Complete: measured,
+			CacheHit: measured,
+			P50MS:    measured, P95MS: measured, P99MS: measured,
 			MaxMS: measured, MeanMS: measured,
 			WallRPS: measured, Coalesce: measured,
 		}

@@ -25,8 +25,8 @@ type Config struct {
 
 	Clock      Clock        // default: simulated
 	HTTPClient *http.Client // default: 30s-timeout client
-	// SkipStats disables /v1/stats polling (for targets that predate
-	// the endpoint).
+	// SkipStats disables server counter polling — GET /metrics, with a
+	// permanent fallback to /v1/stats on targets that predate it.
 	SkipStats bool
 }
 
@@ -104,10 +104,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		outcomes[o]++
-		if o == OutcomeOK {
+		switch o {
+		case OutcomeOK:
 			b.Done++
 			b.LatMS = append(b.LatMS, float64(lat)/float64(time.Millisecond))
-		} else {
+		case OutcomeRejected:
+			// Shed load (429 or refused connection) is graded by its own
+			// SLO term, not folded into the error rate.
+			b.Rejected++
+		default:
 			b.Errors++
 		}
 	}
@@ -116,9 +121,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
 			// The run is being torn down; the request was scheduled but
-			// never sent, which counts as an error against completion.
+			// never sent, which counts as rejected against completion.
 			mu.Lock()
-			b.Errors++
+			b.Rejected++
 			outcomes[OutcomeRejected]++
 			mu.Unlock()
 			return
@@ -141,14 +146,25 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return ps
 	}
 
-	pollStats := func() (int64, int64) {
+	// Server counters come from GET /metrics; the first poll that finds
+	// no target exposing it downgrades permanently to /v1/stats, which
+	// carries the coalescer pair only.
+	useMetrics := true
+	pollStats := func() ServerTotals {
 		if cfg.SkipStats {
-			return 0, 0
+			return ServerTotals{}
 		}
-		return client.CoalesceTotals(context.Background())
+		if useMetrics {
+			if t, ok := client.MetricsTotals(context.Background()); ok {
+				return t
+			}
+			useMetrics = false
+		}
+		reqs, flushes := client.CoalesceTotals(context.Background())
+		return ServerTotals{CoalReqs: reqs, CoalFlushes: flushes}
 	}
-	statsReqs0, statsFlushes0 := pollStats()
-	lastReqs, lastFlushes := statsReqs0, statsFlushes0
+	stats0 := pollStats()
+	last := stats0
 
 	wallStart := time.Now()
 	events := sched.Events()
@@ -163,12 +179,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if b == curBucket {
 			return
 		}
-		reqs, flushes := pollStats()
+		now := pollStats()
 		mu.Lock()
-		curBucket.CoalReqs = reqs - lastReqs
-		curBucket.CoalFlushes = flushes - lastFlushes
+		curBucket.CoalReqs = now.CoalReqs - last.CoalReqs
+		curBucket.CoalFlushes = now.CoalFlushes - last.CoalFlushes
+		curBucket.CacheHits = now.CacheHits - last.CacheHits
+		curBucket.CacheLookups = (now.CacheHits + now.CacheMisses) - (last.CacheHits + last.CacheMisses)
 		mu.Unlock()
-		lastReqs, lastFlushes = reqs, flushes
+		last = now
 		curBucket = b
 	}
 
@@ -219,10 +237,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	fireEvents(cfg.Duration)
 	wg.Wait()
-	reqs, flushes := pollStats()
+	final := pollStats()
 	mu.Lock()
-	curBucket.CoalReqs += reqs - lastReqs
-	curBucket.CoalFlushes += flushes - lastFlushes
+	curBucket.CoalReqs += final.CoalReqs - last.CoalReqs
+	curBucket.CoalFlushes += final.CoalFlushes - last.CoalFlushes
+	curBucket.CacheHits += final.CacheHits - last.CacheHits
+	curBucket.CacheLookups += (final.CacheHits + final.CacheMisses) - (last.CacheHits + last.CacheMisses)
 	mu.Unlock()
 	wallSecs := time.Since(wallStart).Seconds()
 
@@ -234,8 +254,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Outcomes: outcomes,
 		Timeline: tl,
 	}
-	res.Summary = summarize(tl, offered, wallSecs, cfg.Duration.Seconds(),
-		reqs-statsReqs0, flushes-statsFlushes0)
+	delta := ServerTotals{
+		CoalReqs:    final.CoalReqs - stats0.CoalReqs,
+		CoalFlushes: final.CoalFlushes - stats0.CoalFlushes,
+		CacheHits:   final.CacheHits - stats0.CacheHits,
+		CacheMisses: final.CacheMisses - stats0.CacheMisses,
+	}
+	res.Summary = summarize(tl, offered, wallSecs, cfg.Duration.Seconds(), delta)
+	res.Summary.Dropped = outcomes[OutcomeDropped]
 	if cancelled || ctx.Err() != nil {
 		return res, ctx.Err()
 	}
@@ -243,17 +269,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 // summarize folds the timeline into whole-run SLO inputs.
-func summarize(tl *Timeline, offered int, wallSecs, simSecs float64, coalReqs, coalFlushes int64) Summary {
+func summarize(tl *Timeline, offered int, wallSecs, simSecs float64, srv ServerTotals) Summary {
 	var lat []float64
 	s := Summary{Offered: offered, WallSecs: round6(wallSecs), SimSecs: simSecs}
 	for _, b := range tl.Buckets {
 		s.Done += b.Done
 		s.Errors += b.Errors
+		s.Rejected += b.Rejected
 		lat = append(lat, b.LatMS...)
 	}
 	sort.Float64s(lat)
-	if n := s.Done + s.Errors; n > 0 {
+	if n := s.Done + s.Errors + s.Rejected; n > 0 {
 		s.ErrorRate = round6(float64(s.Errors) / float64(n))
+		s.RejectRate = round6(float64(s.Rejected) / float64(n))
 	}
 	if s.Offered > 0 {
 		s.Complete = round6(float64(s.Done) / float64(s.Offered))
@@ -272,8 +300,11 @@ func summarize(tl *Timeline, offered int, wallSecs, simSecs float64, coalReqs, c
 	if wallSecs > 0 {
 		s.WallRPS = round6(float64(s.Done) / wallSecs)
 	}
-	if coalFlushes > 0 {
-		s.Coalesce = round6(float64(coalReqs) / float64(coalFlushes))
+	if srv.CoalFlushes > 0 {
+		s.Coalesce = round6(float64(srv.CoalReqs) / float64(srv.CoalFlushes))
+	}
+	if lookups := srv.CacheHits + srv.CacheMisses; lookups > 0 {
+		s.CacheHit = round6(float64(srv.CacheHits) / float64(lookups))
 	}
 	return s
 }

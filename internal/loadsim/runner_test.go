@@ -28,7 +28,7 @@ func TestRunnerErrorAccountingAndSLOGate(t *testing.T) {
 		t.Fatal("stub served nothing")
 	}
 	s := res.Summary
-	if s.Offered == 0 || s.Done+s.Errors != s.Offered {
+	if s.Offered == 0 || s.Done+s.Errors+s.Rejected != s.Offered {
 		t.Fatalf("accounting broken: %+v", s)
 	}
 	if s.ErrorRate < 0.15 || s.ErrorRate > 0.25 {
@@ -117,7 +117,7 @@ func TestRunnerCancellationDrains(t *testing.T) {
 		t.Fatalf("want DeadlineExceeded, got %v", err)
 	}
 	s := res.Summary
-	if s.Done+s.Errors != s.Offered {
+	if s.Done+s.Errors+s.Rejected != s.Offered {
 		t.Fatalf("vaporized outcomes after cancel: %+v", s)
 	}
 	if res.Outcomes[OutcomeRejected] == 0 {

@@ -26,6 +26,14 @@ type Mix struct {
 	Variance float64
 	// BatchRows is the number of design points per ReqBatch request.
 	BatchRows int
+	// ZipfS > 0 skews point popularity: point draws follow a Zipf
+	// distribution with exponent ZipfS over ZipfN ranks (hot keys), each
+	// rank scattered deterministically across the design space. Zero
+	// keeps the uniform draw — and the schedule byte-identical to
+	// pre-zipf harnesses. Skewed popularity is what gives a server-side
+	// prediction cache something to hit.
+	ZipfS float64
+	ZipfN int
 }
 
 // DefaultMix models interactive traffic: mostly coalescable single
@@ -34,9 +42,14 @@ func DefaultMix() Mix {
 	return Mix{Predict: 0.90, Batch: 0.05, Variance: 0.05, BatchRows: 32}
 }
 
-// ParseMix parses "predict=90,batch=5,variance=5[,rows=32]" into a Mix.
-// Weights are relative; omitted kinds get weight zero. At least one
-// weight must be positive.
+// maxZipfRanks bounds the precomputed zipf CDF.
+const maxZipfRanks = 1 << 16
+
+// ParseMix parses "predict=90,batch=5,variance=5[,rows=32]
+// [,zipf_s=1.1][,zipf_n=1024]" into a Mix. Weights are relative;
+// omitted kinds get weight zero. At least one weight must be positive.
+// zipf_s > 0 turns on skewed point popularity over zipf_n ranks
+// (default 1024).
 func ParseMix(spec string) (Mix, error) {
 	if strings.TrimSpace(spec) == "" {
 		return DefaultMix(), nil
@@ -66,7 +79,24 @@ func ParseMix(spec string) (Mix, error) {
 		return Mix{}, fmt.Errorf("loadsim: mix rows must be an integer in [1,%d], got %g", maxSweepRows, rows)
 	}
 	m.BatchRows = int(rows)
-	for _, k := range []string{"predict", "batch", "variance", "rows"} {
+	m.ZipfS, err = kv.rate("zipf_s", 0)
+	if err != nil {
+		return Mix{}, err
+	}
+	ranks, err := kv.rate("zipf_n", 1024)
+	if err != nil {
+		return Mix{}, err
+	}
+	if ranks < 1 || ranks > maxZipfRanks || ranks != float64(int(ranks)) {
+		return Mix{}, fmt.Errorf("loadsim: mix zipf_n must be an integer in [1,%d], got %g", maxZipfRanks, ranks)
+	}
+	if _, set := kv["zipf_n"]; set && m.ZipfS <= 0 {
+		return Mix{}, fmt.Errorf("loadsim: mix zipf_n needs zipf_s > 0 to take effect")
+	}
+	if m.ZipfS > 0 {
+		m.ZipfN = int(ranks)
+	}
+	for _, k := range []string{"predict", "batch", "variance", "rows", "zipf_s", "zipf_n"} {
 		delete(kv, k)
 	}
 	if len(kv) > 0 {
@@ -111,6 +141,10 @@ type Schedule struct {
 	rng      *stats.RNG
 	envelope float64 // thinning envelope: max pattern rate × max event mult
 
+	// zipfCDF is the cumulative popularity distribution over ranks when
+	// the mix skews point draws; nil keeps draws uniform.
+	zipfCDF []float64
+
 	t     time.Duration // current simulated time of the Poisson clock
 	index int
 	done  bool
@@ -135,14 +169,54 @@ func NewSchedule(seed uint64, p Pattern, events []Event, mix Mix, dur time.Durat
 	if env <= 0 || math.IsInf(env, 0) || math.IsNaN(env) {
 		return nil, fmt.Errorf("loadsim: pattern+events have no positive bounded rate (envelope %g)", env)
 	}
-	return &Schedule{
+	s := &Schedule{
 		pattern:  p,
 		events:   events,
 		dur:      dur,
 		mix:      mix,
 		rng:      stats.NewRNG(seed),
 		envelope: env,
-	}, nil
+	}
+	if mix.ZipfS > 0 {
+		n := mix.ZipfN
+		if n <= 0 {
+			n = 1024
+		}
+		if n > maxZipfRanks {
+			return nil, fmt.Errorf("loadsim: zipf_n %d exceeds the %d-rank cap", n, maxZipfRanks)
+		}
+		s.zipfCDF = zipfCDF(mix.ZipfS, n)
+	}
+	return s, nil
+}
+
+// zipfCDF precomputes the cumulative Zipf(s) distribution over n ranks:
+// weight(r) ∝ (r+1)^-s. The last entry is forced to 1 so a draw of
+// exactly 1.0 still lands in range.
+func zipfCDF(s float64, n int) []float64 {
+	w := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		w[r] = math.Pow(float64(r+1), -s)
+		total += w[r]
+	}
+	cum := 0.0
+	for r := 0; r < n; r++ {
+		cum += w[r] / total
+		w[r] = cum
+	}
+	w[n-1] = 1
+	return w
+}
+
+// splitmix64 scatters a zipf rank across the uint64 draw space, so hot
+// ranks map onto well-spread design points instead of the first few
+// flat indices.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Next returns the next scheduled arrival, or ok=false when the run's
@@ -172,7 +246,17 @@ func (s *Schedule) Next() (Arrival, bool) {
 		if a.Kind == ReqBatch {
 			a.Rows = s.mix.BatchRows
 		}
-		a.PointDraw = s.rng.Uint64()
+		// Exactly one draw per arrival whether or not popularity is
+		// skewed, so a zipf mix changes only the PointDraw values — the
+		// arrival times, kinds, and count stay identical to the uniform
+		// schedule for the same seed.
+		draw := s.rng.Uint64()
+		if s.zipfCDF != nil {
+			u := float64(draw>>11) / (1 << 53)
+			rank := sort.SearchFloat64s(s.zipfCDF, u)
+			draw = splitmix64(uint64(rank))
+		}
+		a.PointDraw = draw
 		s.index++
 		return a, true
 	}

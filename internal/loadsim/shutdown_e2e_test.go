@@ -127,7 +127,7 @@ func TestServeSIGTERMMidSoakDrainsCleanly(t *testing.T) {
 	if res.Outcomes[OutcomeRejected] == 0 {
 		t.Fatal("no request was rejected after shutdown; SIGTERM landed too late to test the drain")
 	}
-	if s := res.Summary; s.Done+s.Errors != s.Offered {
+	if s := res.Summary; s.Done+s.Errors+s.Rejected != s.Offered {
 		t.Fatalf("outcome accounting broken across shutdown: %+v", s)
 	}
 }

@@ -10,20 +10,24 @@ import (
 
 // Summary are the whole-run measurements an SLO clause can reference.
 type Summary struct {
-	Offered   int     `json:"offered"`    // arrivals scheduled
-	Done      int     `json:"done"`       // completed successfully
-	Errors    int     `json:"errors"`     // failed (transport or non-2xx)
-	ErrorRate float64 `json:"error_rate"` // Errors / (Done+Errors), fraction
-	Complete  float64 `json:"completion"` // Done / Offered, fraction
-	P50MS     float64 `json:"p50_ms"`     // latency percentiles over every completion, ms
-	P95MS     float64 `json:"p95_ms"`
-	P99MS     float64 `json:"p99_ms"`
-	MaxMS     float64 `json:"max_ms"`
-	MeanMS    float64 `json:"mean_ms"`
-	WallRPS   float64 `json:"wall_rps"`       // completions per second of wall time
-	Coalesce  float64 `json:"coalesce_batch"` // mean single-point requests per server flush
-	WallSecs  float64 `json:"wall_seconds"`   // run length in wall time
-	SimSecs   float64 `json:"sim_seconds"`    // run length in simulated time
+	Offered    int     `json:"offered"`     // arrivals scheduled
+	Done       int     `json:"done"`        // completed successfully
+	Errors     int     `json:"errors"`      // failed (transport or non-2xx, excluding 429s)
+	Rejected   int     `json:"rejected"`    // shed by admission control (429) or never dispatched
+	Dropped    int     `json:"dropped"`     // responses the server started and cut off
+	ErrorRate  float64 `json:"error_rate"`  // Errors / (Done+Errors+Rejected), fraction
+	RejectRate float64 `json:"reject_rate"` // Rejected / (Done+Errors+Rejected), fraction
+	Complete   float64 `json:"completion"`  // Done / Offered, fraction
+	CacheHit   float64 `json:"cache_hit"`   // server cache hits / lookups over the run, fraction
+	P50MS      float64 `json:"p50_ms"`      // latency percentiles over every completion, ms
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	MeanMS     float64 `json:"mean_ms"`
+	WallRPS    float64 `json:"wall_rps"`       // completions per second of wall time
+	Coalesce   float64 `json:"coalesce_batch"` // mean single-point requests per server flush
+	WallSecs   float64 `json:"wall_seconds"`   // run length in wall time
+	SimSecs    float64 `json:"sim_seconds"`    // run length in simulated time
 }
 
 // sloMetrics maps clause metric names onto summary fields. Duration
@@ -39,7 +43,10 @@ var sloMetrics = map[string]struct {
 	"max":            {"ms", func(s Summary) float64 { return s.MaxMS }},
 	"mean":           {"ms", func(s Summary) float64 { return s.MeanMS }},
 	"error_rate":     {"frac", func(s Summary) float64 { return s.ErrorRate }},
+	"rejected":       {"frac", func(s Summary) float64 { return s.RejectRate }},
+	"cache_hit":      {"frac", func(s Summary) float64 { return s.CacheHit }},
 	"completion":     {"frac", func(s Summary) float64 { return s.Complete }},
+	"dropped":        {"", func(s Summary) float64 { return float64(s.Dropped) }},
 	"wall_rps":       {"", func(s Summary) float64 { return s.WallRPS }},
 	"coalesce_batch": {"", func(s Summary) float64 { return s.Coalesce }},
 }
@@ -73,8 +80,8 @@ type SLO struct{ Clauses []Clause }
 // ParseSLO parses a comma-separated SLO spec. Each clause is
 // metric op value:
 //
-//	p99<50ms, p50<=5ms, error_rate<0.5%, completion>99.9%,
-//	wall_rps>500, coalesce_batch>=2
+//	p99<50ms, p50<=5ms, error_rate<0.5%, rejected<1%, completion>99.9%,
+//	cache_hit>=50%, dropped<1, wall_rps>500, coalesce_batch>=2
 //
 // Latency thresholds take duration literals (50ms, 1.5s) or bare
 // numbers (milliseconds); rate thresholds take percentages or bare

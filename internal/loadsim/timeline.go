@@ -34,10 +34,10 @@ var DeterministicColumns = []string{"bucket", "offered", "events"}
 
 // wallColumns are the measured CSV columns, in order.
 var wallColumns = []string{
-	"done", "errors", "error_rate",
+	"done", "errors", "rejected", "error_rate",
 	"achieved_rps",
 	"p50_ms", "p95_ms", "p99_ms", "max_ms",
-	"coalesce_batch",
+	"coalesce_batch", "cache_hit_rate",
 }
 
 // Bucket is one timeline interval.
@@ -46,15 +46,19 @@ type Bucket struct {
 	Offered int           // arrivals scheduled in [Start, Start+Interval)
 	Events  []string      // events fired in the bucket, in firing order
 
-	Done   int       // requests completed successfully
-	Errors int       // transport failures + non-2xx responses
-	LatMS  []float64 // wall latency of each completed request, ms
+	Done     int       // requests completed successfully
+	Errors   int       // transport failures + non-2xx responses (excluding 429s)
+	Rejected int       // shed by admission control or never dispatched
+	LatMS    []float64 // wall latency of each completed request, ms
 
-	// Coalescing efficiency from the server's /v1/stats deltas over the
-	// bucket: single-point requests answered and batched flushes spent
-	// answering them. Zero when stats polling is off.
-	CoalReqs    int64
-	CoalFlushes int64
+	// Server-side counter deltas over the bucket, scraped from
+	// GET /metrics (or /v1/stats on older servers, coalescer pair only):
+	// coalescing efficiency and prediction-cache traffic. Zero when
+	// stats polling is off.
+	CoalReqs     int64
+	CoalFlushes  int64
+	CacheHits    int64
+	CacheLookups int64 // hits + misses
 }
 
 // NewTimeline builds an empty timeline with one bucket per interval
@@ -108,6 +112,7 @@ type Row struct {
 	Events       string  `json:"events"`
 	Done         int     `json:"done"`
 	Errors       int     `json:"errors"`
+	Rejected     int     `json:"rejected"`
 	ErrorRate    float64 `json:"error_rate"`
 	AchievedRPS  float64 `json:"achieved_rps"`
 	P50MS        float64 `json:"p50_ms"`
@@ -115,6 +120,7 @@ type Row struct {
 	P99MS        float64 `json:"p99_ms"`
 	MaxMS        float64 `json:"max_ms"`
 	CoalesceBach float64 `json:"coalesce_batch"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // rows renders every bucket. wallRPSDivisor converts per-bucket
@@ -126,13 +132,14 @@ func (tl *Timeline) rows() []Row {
 		lat := append([]float64(nil), b.LatMS...)
 		sort.Float64s(lat)
 		r := Row{
-			Bucket:  b.Start.String(),
-			Offered: b.Offered,
-			Events:  strings.Join(b.Events, " "),
-			Done:    b.Done,
-			Errors:  b.Errors,
+			Bucket:   b.Start.String(),
+			Offered:  b.Offered,
+			Events:   strings.Join(b.Events, " "),
+			Done:     b.Done,
+			Errors:   b.Errors,
+			Rejected: b.Rejected,
 		}
-		if n := b.Done + b.Errors; n > 0 {
+		if n := b.Done + b.Errors + b.Rejected; n > 0 {
 			r.ErrorRate = round6(float64(b.Errors) / float64(n))
 		}
 		r.AchievedRPS = round6(float64(b.Done) / secs)
@@ -144,6 +151,9 @@ func (tl *Timeline) rows() []Row {
 		}
 		if b.CoalFlushes > 0 {
 			r.CoalesceBach = round6(float64(b.CoalReqs) / float64(b.CoalFlushes))
+		}
+		if b.CacheLookups > 0 {
+			r.CacheHitRate = round6(float64(b.CacheHits) / float64(b.CacheLookups))
 		}
 		out[i] = r
 	}
@@ -163,6 +173,7 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			r.Events, // event specs contain no commas
 			strconv.Itoa(r.Done),
 			strconv.Itoa(r.Errors),
+			strconv.Itoa(r.Rejected),
 			formatG(r.ErrorRate),
 			formatG(r.AchievedRPS),
 			formatG(r.P50MS),
@@ -170,6 +181,7 @@ func (tl *Timeline) WriteCSV(w io.Writer) error {
 			formatG(r.P99MS),
 			formatG(r.MaxMS),
 			formatG(r.CoalesceBach),
+			formatG(r.CacheHitRate),
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
 			return err

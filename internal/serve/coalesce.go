@@ -5,11 +5,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 )
 
 // errClosed is returned to requests that arrive while the model is
-// being shut down.
+// being shut down (or swapped out by a reload; the predict handler
+// retries those against the replacement).
 var errClosed = errors.New("serve: model closed")
 
 // CoalesceOpts tunes the request coalescer.
@@ -35,14 +37,23 @@ func (o CoalesceOpts) withDefaults() CoalesceOpts {
 }
 
 // CoalesceStats counts the coalescer's traffic: Requests single-point
-// queries answered, in Flushes batched ensemble calls.
+// queries answered (including flush-time cache hits), in Flushes
+// batched kernel calls.
 type CoalesceStats struct {
 	Requests int64 `json:"requests"`
 	Flushes  int64 `json:"flushes"`
 }
 
+// batchBuckets are the coalesce-batch-size histogram bounds (rows per
+// kernel call); the final histogram slot is the +Inf overflow.
+var batchBuckets = [...]int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+const nBatchBuckets = len(batchBuckets) + 1
+
 type pointReq struct {
 	x    []float64
+	mode ann.KernelMode
+	key  cacheKey
 	resp chan pointResp
 }
 
@@ -50,19 +61,30 @@ type pointResp struct {
 	mean, variance float64
 }
 
+// kernelFlushOrder fixes the per-flush partition order, so a mixed
+// batch always computes tiers in the same sequence.
+var kernelFlushOrder = [...]ann.KernelMode{ann.KernelExact, ann.KernelFast, ann.KernelFast32}
+
 // coalescer funnels concurrent single-point predictions into batched
 // ensemble calls. Per-point HTTP traffic would otherwise pay one full
 // per-member forward pass per request; the dispatcher instead gathers
 // whatever requests arrive within one linger window (or MaxBatch,
-// whichever is first) and answers them all with a single
-// PredictVarianceBatch, so serving throughput rides the same vectorized
-// kernels as candidate-pool scoring. Batching changes no bits: rows are
+// whichever is first) and answers them all with batched kernel calls,
+// so serving throughput rides the same vectorized kernels as
+// candidate-pool scoring. Batching changes no bits: rows are
 // independent and the batched kernels are bit-identical to the
-// per-point path.
+// per-point path within a kernel tier.
+//
+// The coalescer is also where the prediction cache earns its
+// "coalescing-aware" label: requests whose key was filled between
+// admission and flush (typically by the previous flush of the same hot
+// point) are answered from the cache, and only the misses reach a
+// kernel — a flush computes exactly the work nobody has done yet.
 type coalescer struct {
 	ens   *core.Ensemble
 	width int
 	opts  CoalesceOpts
+	cache *predCache // nil = caching off
 
 	reqs chan pointReq
 	quit chan struct{}
@@ -71,18 +93,23 @@ type coalescer struct {
 	requests atomic.Int64
 	flushes  atomic.Int64
 
+	batchHist [nBatchBuckets]atomic.Int64
+	batchRows atomic.Int64
+
 	// Dispatcher-owned flush buffers, reused across flushes.
 	batch    []pointReq
+	part     []pointReq
 	xs       []float64
 	mean     []float64
 	variance []float64
 }
 
-func newCoalescer(ens *core.Ensemble, width int, opts CoalesceOpts) *coalescer {
+func newCoalescer(ens *core.Ensemble, width int, opts CoalesceOpts, cache *predCache) *coalescer {
 	c := &coalescer{
 		ens:   ens,
 		width: width,
 		opts:  opts.withDefaults(),
+		cache: cache,
 		reqs:  make(chan pointReq),
 		quit:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -91,9 +118,11 @@ func newCoalescer(ens *core.Ensemble, width int, opts CoalesceOpts) *coalescer {
 	return c
 }
 
-// predict answers one encoded point through the coalescer.
-func (c *coalescer) predict(x []float64) (mean, variance float64, err error) {
-	r := pointReq{x: x, resp: make(chan pointResp, 1)}
+// predict answers one encoded point through the coalescer with the
+// given kernel tier. key addresses the point in the prediction cache
+// and is ignored when caching is off.
+func (c *coalescer) predict(x []float64, mode ann.KernelMode, key cacheKey) (mean, variance float64, err error) {
+	r := pointReq{x: x, mode: mode, key: key, resp: make(chan pointResp, 1)}
 	select {
 	case c.reqs <- r:
 	case <-c.quit:
@@ -110,6 +139,15 @@ func (c *coalescer) predict(x []float64) (mean, variance float64, err error) {
 // stats returns the traffic counters.
 func (c *coalescer) stats() CoalesceStats {
 	return CoalesceStats{Requests: c.requests.Load(), Flushes: c.flushes.Load()}
+}
+
+// batchHistogram snapshots the rows-per-kernel-call histogram and the
+// total rows computed (the histogram's sum).
+func (c *coalescer) batchHistogram() (counts [nBatchBuckets]int64, rows int64) {
+	for i := range counts {
+		counts[i] = c.batchHist[i].Load()
+	}
+	return counts, c.batchRows.Load()
 }
 
 // close stops the dispatcher; in-flight requests receive errClosed.
@@ -154,28 +192,83 @@ func (c *coalescer) run() {
 	}
 }
 
-// flush answers every gathered request with one batched ensemble call.
+// recordBatch tallies one kernel call of n rows.
+func (c *coalescer) recordBatch(n int) {
+	slot := nBatchBuckets - 1
+	for i, ub := range batchBuckets {
+		if n <= ub {
+			slot = i
+			break
+		}
+	}
+	c.batchHist[slot].Add(1)
+	c.batchRows.Add(int64(n))
+}
+
+// flush answers every gathered request: cache hits immediately, the
+// misses with one batched kernel call per kernel tier present.
 func (c *coalescer) flush() {
-	rows := len(c.batch)
-	if rows == 0 {
+	if len(c.batch) == 0 {
 		return
 	}
-	if need := rows * c.width; cap(c.xs) < need {
-		c.xs = make([]float64, need)
-		c.mean = make([]float64, rows)
-		c.variance = make([]float64, rows)
+	answered := int64(0)
+
+	// Recheck the cache at flush time: a point admitted as a miss may
+	// have been filled by an earlier flush in the same linger storm.
+	// peek, not get — the handler already counted this request's
+	// hit/miss outcome at admission.
+	if c.cache != nil {
+		miss := c.batch[:0]
+		for _, r := range c.batch {
+			if v, ok := c.cache.peek(r.key); ok {
+				r.resp <- pointResp{mean: v.mean, variance: v.variance}
+				answered++
+			} else {
+				miss = append(miss, r)
+			}
+		}
+		c.batch = miss
 	}
-	c.xs = c.xs[:rows*c.width]
-	c.mean = c.mean[:rows]
-	c.variance = c.variance[:rows]
-	for i, r := range c.batch {
-		copy(c.xs[i*c.width:(i+1)*c.width], r.x)
+
+	if rows := len(c.batch); rows > 0 {
+		if need := rows * c.width; cap(c.xs) < need {
+			c.xs = make([]float64, need)
+			c.mean = make([]float64, rows)
+			c.variance = make([]float64, rows)
+		}
+		c.part = c.part[:0]
+		for _, mode := range kernelFlushOrder {
+			start := len(c.part)
+			for _, r := range c.batch {
+				if r.mode == mode {
+					c.part = append(c.part, r)
+				}
+			}
+			seg := c.part[start:]
+			n := len(seg)
+			if n == 0 {
+				continue
+			}
+			xs := c.xs[:n*c.width]
+			mean := c.mean[:n]
+			variance := c.variance[:n]
+			for i, r := range seg {
+				copy(xs[i*c.width:(i+1)*c.width], r.x)
+			}
+			c.ens.PredictOutputVarianceBatchKernel(0, xs, n, mean, variance, mode)
+			c.flushes.Add(1)
+			c.recordBatch(n)
+			for i, r := range seg {
+				if c.cache != nil {
+					c.cache.put(r.key, cacheVal{mean: mean[i], variance: variance[i]})
+				}
+				r.resp <- pointResp{mean: mean[i], variance: variance[i]}
+			}
+		}
+		answered += int64(rows)
 	}
-	c.ens.PredictVarianceBatch(c.xs, rows, c.mean, c.variance)
-	c.flushes.Add(1)
-	c.requests.Add(int64(rows))
-	for i, r := range c.batch {
-		r.resp <- pointResp{mean: c.mean[i], variance: c.variance[i]}
-	}
+
+	c.requests.Add(answered)
 	c.batch = c.batch[:0]
+	c.part = c.part[:0]
 }

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMetricsEscape pins the Prometheus label-escaping pair: escaping
+// must round-trip through unescaping for any input, and the escaped
+// form must be safe to embed between double quotes in the text
+// exposition format (no raw quote, no raw newline, no dangling
+// backslash). The seed corpus in testdata/fuzz covers the specials;
+// CI runs the corpus as regular tests.
+func FuzzMetricsEscape(f *testing.F) {
+	f.Add("")
+	f.Add("plain-model-name")
+	f.Add(`back\slash`)
+	f.Add(`qu"ote`)
+	f.Add("new\nline")
+	f.Add(`mixed "\` + "\n" + `" soup`)
+	f.Add("trailing\\")
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := escapeLabel(s)
+		if strings.Contains(esc, "\n") {
+			t.Fatalf("escapeLabel(%q) = %q contains a raw newline", s, esc)
+		}
+		for i := 0; i < len(esc); i++ {
+			switch esc[i] {
+			case '\\':
+				if i+1 >= len(esc) {
+					t.Fatalf("escapeLabel(%q) = %q ends in a dangling backslash", s, esc)
+				}
+				if c := esc[i+1]; c != '\\' && c != '"' && c != 'n' {
+					t.Fatalf("escapeLabel(%q) = %q has unknown escape \\%c", s, esc, c)
+				}
+				i++
+			case '"':
+				t.Fatalf("escapeLabel(%q) = %q contains an unescaped quote", s, esc)
+			}
+		}
+		back, ok := unescapeLabel(esc)
+		if !ok {
+			t.Fatalf("unescapeLabel rejected escapeLabel(%q) = %q", s, esc)
+		}
+		if back != s {
+			t.Fatalf("round trip: %q -> %q -> %q", s, esc, back)
+		}
+		// Unescaping any *accepted* string must itself re-escape to the
+		// identical bytes — the pair is a bijection on escaped forms.
+		if s2, ok := unescapeLabel(s); ok {
+			if re := escapeLabel(s2); re != s {
+				t.Fatalf("accepted escaped form %q re-escapes to %q", s, re)
+			}
+		}
+	})
+}

@@ -8,23 +8,38 @@ import (
 )
 
 // Model is one named entry of the registry: a loaded bundle plus its
-// request coalescer.
+// request coalescer. The name is an *alias* — reload swaps a new
+// bundle (a new Version) under the same name atomically, so clients
+// keep addressing "mcf" while operators roll artifacts underneath.
 type Model struct {
-	Name   string
-	Bundle *bundle.Bundle
-	coal   *coalescer
+	Name string
+	// Version is a registry-wide monotonic id assigned at registration
+	// and on every reload. Prediction-cache keys carry it, so entries
+	// memoized against a replaced bundle are implicitly invalidated.
+	Version int64
+	// Path is the bundle's source file; reload re-reads it when the
+	// request names no other. Empty for in-memory bundles (for example
+	// models registered by finished exploration jobs), which are only
+	// reloadable from an explicit path.
+	Path    string
+	Bundle  *bundle.Bundle
+	coal    *coalescer
+	opts    CoalesceOpts
+	workers int
 }
 
 // Stats returns the model's coalescing counters.
 func (m *Model) Stats() CoalesceStats { return m.coal.stats() }
 
 // Registry holds the named models a server answers queries for. It is
-// safe for concurrent use; models are added at startup and read by
-// every request.
+// safe for concurrent use; models are added at startup or by finished
+// jobs, swapped by reload, and read by every request.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*Model
-	order  []string
+	mu          sync.RWMutex
+	models      map[string]*Model
+	order       []string
+	lastVersion int64
+	cache       *predCache
 }
 
 // NewRegistry returns an empty registry.
@@ -32,8 +47,44 @@ func NewRegistry() *Registry {
 	return &Registry{models: make(map[string]*Model)}
 }
 
+// EnableCache bounds the registry's shared exact prediction cache at
+// entries predictions (<= 0 leaves caching off). Call before Add —
+// each model's coalescer captures the cache at registration.
+func (r *Registry) EnableCache(entries int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = newPredCache(entries)
+}
+
+// CacheStats snapshots the prediction cache's counters (zero when
+// caching is off).
+func (r *Registry) CacheStats() CacheStats {
+	r.mu.RLock()
+	c := r.cache
+	r.mu.RUnlock()
+	return c.stats()
+}
+
 // Add registers a bundle under name and starts its coalescer.
 func (r *Registry) Add(name string, b *bundle.Bundle, opts CoalesceOpts) (*Model, error) {
+	return r.add(name, "", b, opts, 0)
+}
+
+// AddFile loads the bundle at path and registers it under name,
+// recording the path (for hot reload) and the ensemble worker bound
+// (0 = the ensemble's default, reapplied on every reload).
+func (r *Registry) AddFile(name, path string, opts CoalesceOpts, workers int) (*Model, error) {
+	b, err := bundle.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if workers != 0 {
+		b.Ensemble.SetWorkers(workers)
+	}
+	return r.add(name, path, b, opts, workers)
+}
+
+func (r *Registry) add(name, path string, b *bundle.Bundle, opts CoalesceOpts, workers int) (*Model, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: model name must not be empty")
 	}
@@ -42,13 +93,67 @@ func (r *Registry) Add(name string, b *bundle.Bundle, opts CoalesceOpts) (*Model
 	if _, dup := r.models[name]; dup {
 		return nil, fmt.Errorf("serve: model %q already registered", name)
 	}
+	r.lastVersion++
 	m := &Model{
-		Name:   name,
-		Bundle: b,
-		coal:   newCoalescer(b.Ensemble, b.Encoder.Width(), opts),
+		Name:    name,
+		Version: r.lastVersion,
+		Path:    path,
+		Bundle:  b,
+		coal:    newCoalescer(b.Ensemble, b.Encoder.Width(), opts, r.cache),
+		opts:    opts,
+		workers: workers,
 	}
 	r.models[name] = m
 	r.order = append(r.order, name)
+	return m, nil
+}
+
+// Reload loads a fresh bundle and swaps it under the alias name
+// atomically: one moment every new request sees the old version, the
+// next moment the new one. path == "" re-reads the model's registered
+// source file. The displaced coalescer is closed after the swap;
+// requests caught mid-swap observe errClosed and are transparently
+// retried against the new version by the predict handler, so a roll
+// drops zero requests (proven by TestReloadUnderLoad).
+func (r *Registry) Reload(name, path string) (*Model, error) {
+	r.mu.RLock()
+	old, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	if path == "" {
+		path = old.Path
+	}
+	if path == "" {
+		return nil, fmt.Errorf("serve: model %q was registered in-memory; reload needs an explicit \"path\"", name)
+	}
+	b, err := bundle.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if old.workers != 0 {
+		b.Ensemble.SetWorkers(old.workers)
+	}
+	r.mu.Lock()
+	displaced, ok := r.models[name]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serve: model %q disappeared during reload", name)
+	}
+	r.lastVersion++
+	m := &Model{
+		Name:    name,
+		Version: r.lastVersion,
+		Path:    path,
+		Bundle:  b,
+		coal:    newCoalescer(b.Ensemble, b.Encoder.Width(), old.opts, r.cache),
+		opts:    old.opts,
+		workers: old.workers,
+	}
+	r.models[name] = m
+	r.mu.Unlock()
+	displaced.coal.close()
 	return m, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/bundle"
 	"repro/internal/core"
 	"repro/internal/encoding"
@@ -35,7 +36,7 @@ func testTarget(sp *space.Space, idx int) float64 {
 	return v
 }
 
-func trainedBundle(t *testing.T) *bundle.Bundle {
+func trainedBundle(t testing.TB) *bundle.Bundle {
 	t.Helper()
 	sp := testSpace()
 	enc := encoding.NewEncoder(sp)
@@ -63,7 +64,7 @@ func trainedBundle(t *testing.T) *bundle.Bundle {
 
 // newTestServer registers one trained model under "synth" and returns
 // the HTTP test server around it.
-func newTestServer(t *testing.T, opts CoalesceOpts) (*httptest.Server, *Registry, *bundle.Bundle) {
+func newTestServer(t testing.TB, opts CoalesceOpts) (*httptest.Server, *Registry, *bundle.Bundle) {
 	t.Helper()
 	b := trainedBundle(t)
 	reg := NewRegistry()
@@ -412,7 +413,7 @@ func TestRegistryResolution(t *testing.T) {
 // shut down cleanly.
 func TestCoalescerDirect(t *testing.T) {
 	b := trainedBundle(t)
-	c := newCoalescer(b.Ensemble, b.Encoder.Width(), CoalesceOpts{Linger: 2 * time.Millisecond, MaxBatch: 8})
+	c := newCoalescer(b.Ensemble, b.Encoder.Width(), CoalesceOpts{Linger: 2 * time.Millisecond, MaxBatch: 8}, nil)
 	const n = 24
 	var wg sync.WaitGroup
 	errs := make(chan error, n)
@@ -422,7 +423,7 @@ func TestCoalescerDirect(t *testing.T) {
 			defer wg.Done()
 			x := b.Encoder.EncodeIndex(i, nil)
 			wantMean, wantVar := b.Ensemble.PredictVariance(x)
-			mean, variance, err := c.predict(x)
+			mean, variance, err := c.predict(x, ann.KernelExact, cacheKey{})
 			if err != nil {
 				errs <- err
 				return
@@ -438,7 +439,7 @@ func TestCoalescerDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.close()
-	if _, _, err := c.predict(b.Encoder.EncodeIndex(0, nil)); err == nil {
+	if _, _, err := c.predict(b.Encoder.EncodeIndex(0, nil), ann.KernelExact, cacheKey{}); err == nil {
 		t.Fatal("predict succeeded on a closed coalescer")
 	}
 }

@@ -4,12 +4,23 @@
 // (see internal/bundle) and answers:
 //
 //	GET  /healthz           liveness and model count
+//	GET  /metrics           Prometheus text exposition (latency/cache/coalesce/ratelimit)
 //	GET  /v1/stats          request/in-flight/error/coalescing counters (for load harnesses)
 //	GET  /v1/models         loaded models with provenance and accuracy estimates
 //	POST /v1/predict        one design point → prediction (+ member variance)
 //	POST /v1/predict/batch  many design points → predictions, one batched call
 //	POST /v1/variance       many design points → ensemble mean + disagreement
 //	GET  /v1/sensitivity    model-powered per-axis sensitivity ranking
+//
+//	POST /v1/models/{alias}/reload  hot-swap the alias to a freshly loaded bundle
+//
+// The serve tier is production-hardened for sustained traffic: a
+// bounded, sharded *exact* prediction cache (cache.go) memoizes by
+// (model version, kernel tier, flat index) — legal because design
+// spaces are finite and predictions are pure — admission control
+// (limiter.go) degrades overload into fast 429 + Retry-After instead
+// of latency collapse, and hot reload (reload.go) rolls new bundles
+// under a stable alias without dropping requests.
 //
 // With an exploration backend attached (see JobStore), the server also
 // runs the paper's whole §3.3 procedure as asynchronous jobs —
@@ -86,8 +97,10 @@ type Server struct {
 	jobs *JobStore
 	mux  *http.ServeMux
 	ctr  counters
-	// kernel is the forward-kernel tier applied to sweep and shard
-	// requests whose "kernel" field is empty (zero value: exact).
+	adm  *admission  // nil = no admission control
+	lat  latencyHist // request-duration histogram for /metrics
+	// kernel is the forward-kernel tier applied to predict, sweep and
+	// shard requests whose "kernel" field is empty (zero value: exact).
 	kernel ann.KernelMode
 }
 
@@ -101,8 +114,10 @@ func New(reg *Registry) *Server { return NewWithJobs(reg, nil) }
 func NewWithJobs(reg *Registry, jobs *JobStore) *Server {
 	s := &Server{reg: reg, jobs: jobs, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/models/{alias}/reload", s.handleReload)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/predict/batch", s.handlePredictBatch)
 	s.mux.HandleFunc("POST /v1/variance", s.handleVariance)
@@ -165,6 +180,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // modelInfo is one /v1/models entry.
 type modelInfo struct {
 	Name      string        `json:"name"`
+	Version   int64         `json:"version"`
 	Space     string        `json:"space"`
 	Points    int           `json:"points"`
 	Params    int           `json:"params"`
@@ -186,6 +202,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		b := m.Bundle
 		out = append(out, modelInfo{
 			Name:      m.Name,
+			Version:   m.Version,
 			Space:     b.Space.Name,
 			Points:    b.Space.Size(),
 			Params:    b.Space.NumParams(),
@@ -206,6 +223,19 @@ type pointSpec struct {
 	Point   *int    `json:"point,omitempty"`
 	Points  []int   `json:"points,omitempty"`
 	Choices [][]int `json:"choices,omitempty"`
+	// Kernel selects the forward-kernel tier ("exact"/"fast"/"fast32");
+	// empty defers to the server's -kernel default. Cache entries are
+	// keyed per tier, so mixed-tier traffic never cross-contaminates.
+	Kernel string `json:"kernel,omitempty"`
+}
+
+// kernelFor resolves a request's kernel field against the server
+// default, rejecting unknown tier names.
+func (s *Server) kernelFor(name string) (ann.KernelMode, error) {
+	if name == "" {
+		return s.kernel, nil
+	}
+	return ann.ParseKernelMode(name)
 }
 
 // encodeOne resolves a single-point request into one encoded input row
@@ -279,23 +309,58 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*Model, pointS
 	return m, req, true
 }
 
+// predictRetries bounds the handler-side retry on errClosed: a reload
+// swaps the coalescer at most once per roll, so one retry usually
+// suffices; the bound keeps a crash-looping reload from pinning
+// requests forever.
+const predictRetries = 3
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	m, req, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
-	x, index, err := encodeOne(m, req)
+	mode, err := s.kernelFor(req.Kernel)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	mean, variance, err := m.coal.predict(x)
-	if err != nil {
+	for attempt := 0; ; attempt++ {
+		x, index, err := encodeOne(m, req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		key := cacheKey{version: m.Version, kernel: mode, index: index}
+		if c := m.coal.cache; c != nil {
+			if v, hit := c.get(key); hit {
+				// Cache hit: answered without touching the ensemble (or
+				// even the coalescer).
+				writePrediction(w, m.Name, index, v.mean, v.variance)
+				return
+			}
+		}
+		mean, variance, err := m.coal.predict(x, mode, key)
+		if err == nil {
+			writePrediction(w, m.Name, index, mean, variance)
+			return
+		}
+		// errClosed mid-reload: the alias already points at the new
+		// version — re-resolve and retry there, so a roll drops nothing.
+		if err == errClosed && attempt < predictRetries {
+			if m2, rerr := s.reg.Get(req.Model); rerr == nil && m2 != m {
+				m = m2
+				continue
+			}
+		}
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+}
+
+func writePrediction(w http.ResponseWriter, model string, index int, mean, variance float64) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"model":      m.Name,
+		"model":      model,
 		"point":      index,
 		"prediction": mean,
 		"variance":   variance,
@@ -307,12 +372,17 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	mode, err := s.kernelFor(req.Kernel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	xs, idxs, err := encodeBatch(m, req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	preds := m.Bundle.Ensemble.PredictBatch(xs, len(idxs), nil)
+	preds := m.Bundle.Ensemble.PredictOutputBatchKernel(0, xs, len(idxs), nil, mode)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model":       m.Name,
 		"points":      idxs,
@@ -325,12 +395,17 @@ func (s *Server) handleVariance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	mode, err := s.kernelFor(req.Kernel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	xs, idxs, err := encodeBatch(m, req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	mean, variance := m.Bundle.Ensemble.PredictVarianceBatch(xs, len(idxs), nil, nil)
+	mean, variance := m.Bundle.Ensemble.PredictOutputVarianceBatchKernel(0, xs, len(idxs), nil, nil, mode)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model":     m.Name,
 		"points":    idxs,

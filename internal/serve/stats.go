@@ -23,6 +23,12 @@ type ServerStats struct {
 	// single-point requests answered and the batched flushes that
 	// answered them — requests/flushes is the mean coalesced batch size.
 	Models map[string]CoalesceStats `json:"models"`
+	// Cache is the exact prediction cache's counters (all zero when
+	// caching is off), RateLimit the admission-control rejections.
+	// /metrics exports the same numbers; /v1/stats keeps carrying them
+	// for older pollers (see the migration note in the README).
+	Cache     CacheStats     `json:"cache"`
+	RateLimit RateLimitStats `json:"rate_limit"`
 	// Jobs is the number of jobs the store has accepted (0 with no job
 	// store), JobsActive how many are queued or running right now.
 	Jobs       int `json:"jobs"`
@@ -55,13 +61,16 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// countRequest wraps the whole mux so every endpoint is counted.
+// countRequest wraps the whole mux so every endpoint is counted,
+// timed, and subject to admission control.
 func (s *Server) countRequest(w http.ResponseWriter, r *http.Request) {
+	start := nowMono()
 	s.ctr.requests.Add(1)
 	s.ctr.inFlight.Add(1)
 	defer s.ctr.inFlight.Add(-1)
 	rec := &statusRecorder{ResponseWriter: w}
-	s.mux.ServeHTTP(rec, r)
+	s.admitAndServe(rec, r)
+	s.lat.observe(nowMono().Sub(start))
 	switch {
 	case rec.status >= 500:
 		s.ctr.serverErrors.Add(1)
@@ -78,6 +87,8 @@ func (s *Server) Stats() ServerStats {
 		ClientErrors: s.ctr.clientErrors.Load(),
 		ServerErrors: s.ctr.serverErrors.Load(),
 		Models:       map[string]CoalesceStats{},
+		Cache:        s.reg.CacheStats(),
+		RateLimit:    s.adm.stats(),
 	}
 	for _, name := range s.reg.Names() {
 		m, err := s.reg.Get(name)
