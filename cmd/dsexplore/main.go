@@ -5,6 +5,12 @@
 //
 //	dsexplore -study processor -app mcf -target 1.5 -budget 900
 //
+// -acquire switches selection to a Pareto-aware acquisition function
+// once the first ensemble is trained — e.g. hypervolume improvement
+// over IPC (maximized) and L2 miss rate (minimized):
+//
+//	dsexplore -study memory -app mcf -acquire hvi:max=out0:min=out1
+//
 // Exploration runs on the pipelined engine (internal/explore):
 // simulations fan out over -oracle-workers goroutines, training
 // overlaps with the next round's simulations, and failing design points
@@ -48,6 +54,7 @@ func main() {
 	traceLen := flag.Int("insts", 30000, "instructions per simulation")
 	paperCfg := flag.Bool("paper", false, "use the paper's exact ANN hyperparameters (slower training)")
 	active := flag.Bool("active", false, "use variance-driven (active) sampling instead of random")
+	acquire := flag.String("acquire", "", "Pareto-aware acquisition spec: hvi|frontier|variance with :max=outN/:min=outN/:var=outN objectives and :outN>=v constraints")
 	workers := flag.Int("workers", 0, "goroutines for fold training and batched prediction (0 = all cores)")
 	oracleWorkers := flag.Int("oracle-workers", 0, "goroutines simulating design points concurrently (0 = all cores)")
 	retries := flag.Int("retries", 0, "oracle retries per failing point before quarantine (0 = default, negative = none)")
@@ -78,7 +85,7 @@ func main() {
 		fatal(err)
 		// A loaded bundle answers everything without exploring; refuse
 		// exploration flags instead of silently ignoring them.
-		for _, f := range []string{"active", "paper", "budget", "batch", "target", "checkpoint", "oracle-workers", "retries"} {
+		for _, f := range []string{"active", "acquire", "paper", "budget", "batch", "target", "checkpoint", "oracle-workers", "retries"} {
 			if cliutil.FlagWasSet(f) {
 				fatal(fmt.Errorf("-%s controls exploration and has no effect with -load", f))
 			}
@@ -104,7 +111,7 @@ func main() {
 			// The checkpoint is authoritative for everything that shapes
 			// results; refuse conflicting flags instead of silently
 			// ignoring them.
-			for _, f := range []string{"study", "app", "insts", "budget", "batch", "target", "active", "paper", "seed"} {
+			for _, f := range []string{"study", "app", "insts", "budget", "batch", "target", "active", "acquire", "paper", "seed"} {
 				if cliutil.FlagWasSet(f) {
 					fatal(fmt.Errorf("-%s comes from the checkpoint and cannot be overridden with -resume", f))
 				}
@@ -130,7 +137,11 @@ func main() {
 			if pipe.CheckpointPath == "" {
 				pipe.CheckpointPath = *resumePath // keep rolling the same file
 			}
-			oracle := experiments.NewSimOracle(study, appName, insts, experiments.IPCOnly)
+			// The checkpoint's acquisition config decides how many target
+			// columns the resumed oracle must report — a multi-objective
+			// run must not resume against an IPC-only oracle.
+			metrics, _ := oracleMetrics(cp.Config.Acquire)
+			oracle := experiments.NewSimOracle(study, appName, insts, metrics)
 			drv, err = explore.Resume(cp, oracle, pipe)
 			fatal(err)
 			fmt.Printf("%s study / %s: resumed %s at %d simulations (%d rounds done)\n",
@@ -152,14 +163,19 @@ func main() {
 			if *active {
 				cfg.Strategy = core.SelectVariance
 			}
+			if *acquire != "" {
+				cfg.Acquire, err = core.ParseAcquireSpec(*acquire)
+				fatal(err)
+			}
+			metrics, metricName := oracleMetrics(cfg.Acquire)
 			pipe.Meta = bundle.Meta{
 				Study:    study.Name,
 				App:      appName,
-				Metric:   "IPC",
+				Metric:   metricName,
 				TraceLen: insts,
 				Model:    cfg.Model,
 			}
-			oracle := experiments.NewSimOracle(study, appName, insts, experiments.IPCOnly)
+			oracle := experiments.NewSimOracle(study, appName, insts, metrics)
 			drv, err = explore.New(study.Space, oracle, explore.Config{ExploreConfig: cfg, Pipeline: pipe})
 			fatal(err)
 			fmt.Printf("%s study / %s: %d-point space, batches of %d, target %.1f%%\n\n",
@@ -229,6 +245,17 @@ func main() {
 		fmt.Printf("  %2d. %-22s mean %6.1f%%  max %6.1f%%  (%d/%d bases)\n",
 			s.Rank, s.Name, s.MeanSwing, s.MaxSwing, s.ValidBases, s.Bases)
 	}
+}
+
+// oracleMetrics picks the simulator target set an acquisition config
+// needs: objectives or constraints past out0 require the multi-task
+// statistics (out0 = IPC, out1 = L2 miss rate, out2 = branch
+// mispredict rate); everything else keeps the paper's IPC-only oracle.
+func oracleMetrics(acq *core.AcquireConfig) (experiments.Metrics, string) {
+	if acq.MaxOutput() > 0 {
+		return experiments.MultiTask, "IPC,L2MissRate,BrMispredRate"
+	}
+	return experiments.IPCOnly, "IPC"
 }
 
 func fatal(err error) {

@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "list", "experiment: list|all|spaces|table5.1|fig5.1|fig5.2|fig5.4|fig5.5|fig5.6|fig5.7|fig5.8|pb|crossapp|active|model")
+	exp := flag.String("exp", "list", "experiment: list|all|spaces|table5.1|fig5.1|fig5.2|fig5.4|fig5.5|fig5.6|fig5.7|fig5.8|pb|crossapp|active|acquire|model")
 	scaleName := flag.String("scale", "quick", "budget preset: quick|standard|full")
 	studyName := flag.String("study", "", "restrict to one study: memory|processor")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: paper's choice per experiment)")
@@ -81,6 +81,8 @@ func main() {
 		r.crossApp()
 	case "active":
 		r.active()
+	case "acquire":
+		r.acquire()
 	case "model":
 		r.model(*savePath, *loadPath)
 	case "all":
@@ -93,6 +95,7 @@ func main() {
 		r.pbScreen()
 		r.crossApp()
 		r.active()
+		r.acquire()
 	default:
 		fatal(fmt.Errorf("unknown experiment %q (try -exp list)", *exp))
 	}
@@ -136,6 +139,7 @@ func (r *runner) list() {
   pb         §4 methodology — Plackett-Burman parameter ranking
   crossapp   Ch. 7 ext.     — cross-application model vs per-app models
   active     Ch. 7 ext.     — active learning vs random sampling
+  acquire    Ch. 7 ext.     — Pareto-aware acquisition vs variance-only (hypervolume vs budget)
   model      train once (-save bundle) / verify a saved bundle (-load)
   all        everything above (except model, which needs -save or -load)
 `)
@@ -387,6 +391,46 @@ func (r *runner) active() {
 		fmt.Printf("%8s %12s %12s\n", "samples", "random err%", "active err%")
 		for _, p := range points {
 			fmt.Printf("%8d %11.2f%% %11.2f%%\n", p.Samples, p.RandomErr, p.ActiveErr)
+		}
+	}
+}
+
+// acquire compares Pareto-aware acquisition against the variance-only
+// baseline: same seeds and budgets, hypervolume of the actually
+// simulated designs (IPC maximized vs hardware budget minimized) after
+// every round.
+func (r *runner) acquire() {
+	fmt.Println("== Pareto-aware acquisition vs variance-only selection ==")
+	cfg := r.curveConfig()
+	st := studies.MemorySystem()
+	if len(r.studies) == 1 {
+		st = r.studies[0]
+	}
+	specs := []string{"hvi:max=out0:min=out1", "frontier:max=out0:min=out1"}
+	for _, app := range r.appsFor([]string{"mcf"}) {
+		curves, err := experiments.AcquisitionLearning(st, app, cfg, specs)
+		fatal(err)
+		fmt.Printf("\n%s / %s (hypervolume of simulated designs: IPC maximized, hardware budget minimized):\n", st.Name, app)
+		fmt.Printf("%8s", "samples")
+		for _, c := range curves {
+			fmt.Printf(" %24s", c.Name)
+		}
+		fmt.Println()
+		for i := range curves[0].Points {
+			fmt.Printf("%8d", curves[0].Points[i].Samples)
+			for _, c := range curves {
+				fmt.Printf(" %24.4f", c.Points[i].Hypervolume)
+			}
+			fmt.Println()
+		}
+		final := curves[0].Points[len(curves[0].Points)-1].Hypervolume
+		for _, c := range curves[1:] {
+			if b := experiments.BudgetToReach(c.Points, final); b >= 0 {
+				fmt.Printf("%s matches the variance-only final hypervolume at %d simulations (%.0f%% of its budget)\n",
+					c.Name, b, 100*float64(b)/float64(cfg.End))
+			} else {
+				fmt.Printf("%s never matches the variance-only final hypervolume within budget\n", c.Name)
+			}
 		}
 	}
 }

@@ -219,11 +219,23 @@ func simBackend(defaultInsts int) serve.Backend {
 		if traceLen <= 0 {
 			traceLen = defaultInsts
 		}
-		oracle := experiments.NewSimOracle(study, req.App, traceLen, experiments.IPCOnly)
+		// Acquisition objectives over out1/out2 need the simulator's
+		// multi-task targets; plain jobs keep the cheaper IPC column.
+		metrics, metricName := experiments.IPCOnly, "IPC"
+		if req.Acquire != "" {
+			acq, err := core.ParseAcquireSpec(req.Acquire)
+			if err != nil {
+				return nil, nil, bundle.Meta{}, err
+			}
+			if acq.MaxOutput() > 0 {
+				metrics, metricName = experiments.MultiTask, "IPC,L2MissRate,BrMispredRate"
+			}
+		}
+		oracle := experiments.NewSimOracle(study, req.App, traceLen, metrics)
 		meta := bundle.Meta{
 			Study:    study.Name,
 			App:      req.App,
-			Metric:   "IPC",
+			Metric:   metricName,
 			TraceLen: traceLen,
 		}
 		return study.Space, oracle, meta, nil

@@ -19,6 +19,7 @@ import (
 // runner/clock layer exists precisely to measure wall time).
 var DeterminismScope = map[string][]string{
 	"repro/internal/core":     nil,
+	"repro/internal/pareto":   nil,
 	"repro/internal/sweep":    nil,
 	"repro/internal/space":    nil,
 	"repro/internal/encoding": nil,

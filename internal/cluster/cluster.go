@@ -242,12 +242,23 @@ const (
 	maxRetryAfter      = 5 * time.Second
 )
 
-// parseRetryAfter reads a Retry-After header (delta-seconds form) into
-// a bounded wait. Absent or unparseable values default to one second.
+// parseRetryAfter reads a Retry-After header into a bounded wait. RFC
+// 9110 §10.2.3 allows two forms: delta-seconds and an HTTP-date; a date
+// becomes the interval from now until it (a past date collapses to the
+// minimum clamp). Absent or unparseable values default to one second.
 func parseRetryAfter(h string) time.Duration {
+	return parseRetryAfterAt(h, time.Now()) //repolint:allow determinism -- Retry-After backoff is wall-clock pacing; it never reaches sweep results
+}
+
+// parseRetryAfterAt is parseRetryAfter against an explicit clock, so
+// the date arithmetic is testable.
+func parseRetryAfterAt(h string, now time.Time) time.Duration {
 	d := time.Second
-	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil {
+	h = strings.TrimSpace(h)
+	if secs, err := strconv.Atoi(h); err == nil {
 		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(h); err == nil {
+		d = when.Sub(now)
 	}
 	if d < minRetryAfter {
 		d = minRetryAfter

@@ -500,18 +500,39 @@ func TestClusterHonorsRetryAfter(t *testing.T) {
 	}
 }
 
-// TestParseRetryAfter pins the header parsing and its clamp.
+// TestParseRetryAfter pins the header parsing and its clamp, across
+// both RFC 9110 forms: delta-seconds and HTTP-date.
 func TestParseRetryAfter(t *testing.T) {
-	for h, want := range map[string]time.Duration{
-		"2":       2 * time.Second,
-		" 3 ":     3 * time.Second,
-		"0":       minRetryAfter,
-		"9999":    maxRetryAfter,
-		"":        time.Second,
-		"garbage": time.Second,
-	} {
-		if got := parseRetryAfter(h); got != want {
-			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+	now := time.Date(2026, time.March, 5, 12, 0, 0, 0, time.UTC)
+	httpDate := func(d time.Duration) string {
+		return now.Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name, h string
+		want    time.Duration
+	}{
+		{"delta seconds", "2", 2 * time.Second},
+		{"delta with spaces", " 3 ", 3 * time.Second},
+		{"delta zero clamps up", "0", minRetryAfter},
+		{"delta negative clamps up", "-5", minRetryAfter},
+		{"delta huge clamps down", "9999", maxRetryAfter},
+		{"date ahead", httpDate(3 * time.Second), 3 * time.Second},
+		{"date far ahead clamps down", httpDate(time.Hour), maxRetryAfter},
+		{"date in the past clamps up", httpDate(-time.Minute), minRetryAfter},
+		{"date now clamps up", httpDate(0), minRetryAfter},
+		{"date RFC 850 form", now.Add(2 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"), 2 * time.Second},
+		{"date ANSI C form", now.Add(4 * time.Second).UTC().Format(time.ANSIC), 4 * time.Second},
+		{"absent", "", time.Second},
+		{"garbage", "garbage", time.Second},
+		{"malformed date", "Wed, 99 Xxx 2026 12:00:00 GMT", time.Second},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfterAt(tc.h, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfterAt(%q) = %v, want %v", tc.name, tc.h, got, tc.want)
 		}
+	}
+	// The wall-clock entry point applies the same clamp.
+	if got := parseRetryAfter("2"); got != 2*time.Second {
+		t.Errorf("parseRetryAfter(2) = %v", got)
 	}
 }

@@ -33,8 +33,15 @@ type ExploreConfig struct {
 	// of mean percentage error falls below it (0 disables).
 	TargetMeanErr float64
 	Strategy      Selection
+	// Acquire, when non-nil, selects batches with a Pareto-aware
+	// acquisition function (see AcquireConfig) instead of Strategy once
+	// an ensemble exists; the first round is always random. It is part
+	// of the loop configuration, so checkpoints carry it and a resumed
+	// run replays the same acquisition bit-identically.
+	Acquire *AcquireConfig
 	// CandidatePool is the number of random unsimulated points scored
-	// per round under SelectVariance (0 selects 20× batch size).
+	// per round under SelectVariance or acquisition (0 selects 20×
+	// batch size).
 	CandidatePool int
 	// Exclude lists design points the explorer must never sample —
 	// typically a held-out evaluation set.
@@ -53,6 +60,11 @@ func (c ExploreConfig) Validate(sp *space.Space) error {
 	}
 	if c.MaxSamples < c.BatchSize {
 		return fmt.Errorf("core: MaxSamples (%d) below one batch (%d)", c.MaxSamples, c.BatchSize)
+	}
+	if c.Acquire != nil {
+		if err := c.Acquire.Validate(); err != nil {
+			return err
+		}
 	}
 	for _, idx := range c.Exclude {
 		// Out-of-range indices would sit reserved without ever being
@@ -117,6 +129,7 @@ type Explorer struct {
 	oracle Oracle
 	cfg    ExploreConfig
 	sel    *BatchSelector
+	acq    Acquirer // non-nil iff cfg.Acquire is
 
 	indices []int       // simulated design points, in sampling order
 	inputs  [][]float64 // encoded inputs, aligned with indices
@@ -140,6 +153,13 @@ func NewExplorer(sp *space.Space, oracle Oracle, cfg ExploreConfig) (*Explorer, 
 		oracle: oracle,
 		cfg:    cfg,
 		sel:    NewBatchSelector(sp, enc, cfg.SeedRNG()),
+	}
+	if cfg.Acquire != nil {
+		acq, err := NewAcquirer(cfg.Acquire)
+		if err != nil {
+			return nil, err
+		}
+		e.acq = acq
 	}
 	for _, idx := range cfg.Exclude {
 		e.sel.Reserve(idx) // reserved forever, never trained on
@@ -194,9 +214,16 @@ func (e *Explorer) Run() (*Ensemble, error) {
 // training pool.
 func (e *Explorer) Grow(n int) error {
 	var batch []int
-	if e.cfg.Strategy == SelectVariance && e.ens != nil {
+	switch {
+	case e.acq != nil && e.ens != nil:
+		var err error
+		batch, err = e.sel.Acquire(e.acq, e.ens, e.inputs, n, e.cfg.CandidatePool)
+		if err != nil {
+			return err
+		}
+	case e.cfg.Strategy == SelectVariance && e.ens != nil:
 		batch = e.sel.ByVariance(e.ens, n, e.cfg.CandidatePool)
-	} else {
+	default:
 		batch = e.sel.Random(n)
 	}
 	if len(batch) == 0 {

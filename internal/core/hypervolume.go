@@ -1,0 +1,86 @@
+package core
+
+import "sort"
+
+// Hypervolume computes the exact hypervolume dominated by pts with
+// respect to the reference point ref, in minimization space: the
+// measure of the region { x : ∃p ∈ pts, p ≤ x ≤ ref }. Points with any
+// coordinate at or beyond ref contribute nothing and are ignored.
+//
+// The algorithm is the classic dimension-sweep slicing recursion: sort
+// by the last coordinate, accumulate the projected points, and sum
+// slab thickness × (d−1)-dimensional cross-section. Exact and fully
+// deterministic — ties sort lexicographically, so the summation order
+// is a pure function of the point multiset. Cost is fine for the small
+// frontiers acquisition works with (exponential in dimensions only for
+// pathological inputs; the common 2–3 objective case is near-linear in
+// frontier size after the sort).
+//
+// The input slices are not mutated; the recursion works on a private
+// copy of the top-level slice (the coordinate rows are shared,
+// read-only).
+func Hypervolume(pts [][]float64, ref []float64) float64 {
+	kept := make([][]float64, 0, len(pts))
+	for _, p := range pts {
+		inside := true
+		for m := range ref {
+			if p[m] >= ref[m] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			kept = append(kept, p)
+		}
+	}
+	return hvSweep(kept, ref)
+}
+
+// hvSweep is the slicing recursion over an already-filtered point set;
+// it may reorder pts.
+func hvSweep(pts [][]float64, ref []float64) float64 {
+	d := len(ref)
+	if len(pts) == 0 {
+		return 0
+	}
+	if d == 1 {
+		best := 0.0
+		for _, p := range pts {
+			if v := ref[0] - p[0]; v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	// Sort by the sweep coordinate, breaking ties lexicographically on
+	// the remaining coordinates so the floating-point summation order
+	// below never depends on the caller's ordering.
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		if a[d-1] != b[d-1] {
+			return a[d-1] < b[d-1]
+		}
+		for m := 0; m < d-1; m++ {
+			if a[m] != b[m] {
+				return a[m] < b[m]
+			}
+		}
+		return false
+	})
+	total := 0.0
+	accum := make([][]float64, 0, len(pts))
+	for i := 0; i < len(pts); {
+		z := pts[i][d-1]
+		for ; i < len(pts) && pts[i][d-1] == z; i++ {
+			accum = append(accum, pts[i][:d-1])
+		}
+		zNext := ref[d-1]
+		if i < len(pts) {
+			zNext = pts[i][d-1]
+		}
+		if zNext > z {
+			total += (zNext - z) * hvSweep(accum, ref[:d-1])
+		}
+	}
+	return total
+}

@@ -44,31 +44,102 @@ func (s *BatchSelector) Remaining() int { return s.sp.Size() - len(s.reserved) }
 // and restore the exact selection stream.
 func (s *BatchSelector) RNG() *stats.RNG { return s.rng }
 
+// enumFallbackDivisor decides when drawDistinct abandons rejection
+// sampling for the enumeration fallback: once the worst-case accept
+// probability of the rejection loop — (Remaining−k+1)/Size for the
+// final draw — falls below 1/enumFallbackDivisor, the expected RNG
+// draws per accept exceed the divisor and the loop is deep in
+// coupon-collector territory (O(size·log size) draws to find the last
+// few drawable points). One O(size) enumeration is strictly cheaper
+// there, and bounded.
+const enumFallbackDivisor = 16
+
+// drawDistinct draws k distinct unreserved indices, consuming the
+// selection RNG deterministically. Away from pool exhaustion it is the
+// historic rejection loop — uniform draws over the whole space,
+// re-drawing reserved or repeated points — and consumes the RNG
+// exactly as it always has, which checkpoint resume bit-identity
+// depends on. Near exhaustion (see enumFallbackDivisor) it switches to
+// enumerating the drawable points in ascending order and taking a
+// k-step partial Fisher–Yates shuffle: exactly k Intn draws, same
+// uniform-without-replacement distribution, no unbounded tail. The
+// regimes consume the RNG differently, so the switch threshold is part
+// of the selection contract: a given (seed, reservation state) is
+// always in exactly one regime.
+func (s *BatchSelector) drawDistinct(k int) []int {
+	avail := s.Remaining()
+	if k > avail {
+		k = avail
+	}
+	if k <= 0 {
+		return nil
+	}
+	size := s.sp.Size()
+	if (avail-k+1)*enumFallbackDivisor < size {
+		cand := make([]int, 0, avail)
+		for idx := 0; idx < size; idx++ {
+			if !s.reserved[idx] {
+				cand = append(cand, idx)
+			}
+		}
+		out := make([]int, k)
+		for i := 0; i < k; i++ {
+			j := i + s.rng.Intn(len(cand)-i)
+			cand[i], cand[j] = cand[j], cand[i]
+			out[i] = cand[i]
+		}
+		return out
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for len(out) < k {
+		idx := s.rng.Intn(size)
+		if s.reserved[idx] || seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		out = append(out, idx)
+	}
+	return out
+}
+
 // Random draws up to n distinct unreserved points uniformly — the
 // paper's §3.3 sampling. The returned points are NOT reserved; the
 // caller reserves them once their simulations are recorded (or
 // quarantined), keeping selection side-effect-free until an oracle
 // result actually exists.
 func (s *BatchSelector) Random(n int) []int {
+	return s.drawDistinct(n)
+}
+
+// drawPool draws the candidate pool every ensemble-scored selection
+// strategy scores over: up to pool distinct unreserved points (pool
+// <= 0 selects 20×n, clamped to the drawable count), returned with
+// their encoded inputs. The draw consumes the selection RNG exactly
+// like Random's, so every strategy sharing this pool replays
+// bit-identically from a checkpoint.
+func (s *BatchSelector) drawPool(n, pool int) ([]int, []float64) {
 	if avail := s.Remaining(); n > avail {
 		n = avail
 	}
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
-	out := make([]int, 0, n)
-	for len(out) < n {
-		idx := s.rng.Intn(s.sp.Size())
-		if s.reserved[idx] {
-			continue
-		}
-		s.reserved[idx] = true // reserve temporarily to avoid duplicates in batch
-		out = append(out, idx)
+	if pool <= 0 {
+		pool = 20 * n
 	}
-	for _, idx := range out {
-		delete(s.reserved, idx)
+	// Clamp to the points actually drawable: reserved covers simulated,
+	// excluded and quarantined indices, none of which are candidates.
+	if avail := s.Remaining(); pool > avail {
+		pool = avail
 	}
-	return out
+	idxs := s.drawDistinct(pool)
+	width := s.enc.Width()
+	xs := make([]float64, len(idxs)*width)
+	for i, idx := range idxs {
+		s.enc.EncodeIndex(idx, xs[i*width:(i+1)*width])
+	}
+	return idxs, xs
 }
 
 // ByVariance scores a random pool of unreserved candidates with the
@@ -77,36 +148,22 @@ func (s *BatchSelector) Random(n int) []int {
 // Chapter 7 active-learning batch. pool <= 0 selects 20×n candidates.
 // Like Random, the returned points are not reserved.
 func (s *BatchSelector) ByVariance(ens *Ensemble, n, pool int) []int {
-	if avail := s.Remaining(); n > avail {
-		n = avail
-	}
-	if n <= 0 {
+	idxs, xs := s.drawPool(n, pool)
+	if len(idxs) == 0 {
 		return nil
 	}
-	if pool <= 0 {
-		pool = 20 * n
-	}
-	// Clamp to the points actually drawable: reserved covers simulated,
-	// excluded and quarantined indices, all of which the draw loop below
-	// rejects.
-	if avail := s.Remaining(); pool > avail {
-		pool = avail
-	}
-	idxs := make([]int, 0, pool)
-	seen := make(map[int]bool, pool)
-	width := s.enc.Width()
-	xs := make([]float64, pool*width)
-	for len(idxs) < pool {
-		idx := s.rng.Intn(s.sp.Size())
-		if s.reserved[idx] || seen[idx] {
-			continue
-		}
-		seen[idx] = true
-		s.enc.EncodeIndex(idx, xs[len(idxs)*width:(len(idxs)+1)*width])
-		idxs = append(idxs, idx)
-	}
-	_, vs := ens.PredictVarianceBatch(xs, pool, nil, nil)
+	_, vs := ens.PredictVarianceBatch(xs, len(idxs), nil, nil)
 	return topVariance(idxs, vs, n)
+}
+
+// Acquire selects up to n points with the given acquisition function —
+// the frontier-aware generalization of ByVariance. The candidate pool
+// is drawn exactly as ByVariance draws it (same RNG stream), trainXs
+// are the encoded inputs of the already-simulated points (the
+// predicted-frontier reference set), and the returned points are not
+// reserved.
+func (s *BatchSelector) Acquire(acq Acquirer, ens *Ensemble, trainXs [][]float64, n, pool int) ([]int, error) {
+	return acq.Select(s, ens, trainXs, n, pool)
 }
 
 // scored pairs a candidate with its ensemble disagreement and its draw

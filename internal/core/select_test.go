@@ -102,6 +102,174 @@ func selectionSortTopVariance(idxs []int, vs []float64, n int) []int {
 	return out
 }
 
+// historicRejectionDraw is the literal rejection loop Random and
+// ByVariance always used: uniform draws over the whole space,
+// re-drawing reserved or repeated points. It defines the RNG
+// consumption the non-fallback regime of drawDistinct must reproduce
+// draw for draw.
+func historicRejectionDraw(s *BatchSelector, rng *stats.RNG, k int) []int {
+	if avail := s.Remaining(); k > avail {
+		k = avail
+	}
+	if k <= 0 {
+		return nil
+	}
+	size := s.sp.Size()
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for len(out) < k {
+		idx := rng.Intn(size)
+		if s.reserved[idx] || seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		out = append(out, idx)
+	}
+	return out
+}
+
+// enumerationDraw is the fallback reference: drawable points in
+// ascending order, then a k-step partial Fisher–Yates — exactly k Intn
+// draws.
+func enumerationDraw(s *BatchSelector, rng *stats.RNG, k int) []int {
+	cand := make([]int, 0, s.Remaining())
+	for idx := 0; idx < s.sp.Size(); idx++ {
+		if !s.reserved[idx] {
+			cand = append(cand, idx)
+		}
+	}
+	if k > len(cand) {
+		k = len(cand)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+		out[i] = cand[i]
+	}
+	return out
+}
+
+// reserveFirst reserves the lowest n indices of the selector's space.
+func reserveFirst(s *BatchSelector, n int) {
+	for idx := 0; idx < n; idx++ {
+		s.Reserve(idx)
+	}
+}
+
+// TestDrawDistinctParityOutsideFallback proves the coupon-collector fix
+// changed nothing outside the fallback regime: for reservation states
+// where (Remaining−k+1)·enumFallbackDivisor ≥ Size, drawDistinct
+// returns the historic rejection loop's exact sequence and leaves the
+// RNG in the exact state the historic loop would have — so existing
+// seeds, checkpoints and published runs replay bit-identically.
+func TestDrawDistinctParityOutsideFallback(t *testing.T) {
+	sp := synthSpace()
+	enc := newTestEncoder(sp)
+	size := sp.Size()
+	for _, k := range []int{1, 4, 25} {
+		// Densest reservation state still outside the fallback regime
+		// for this k, plus lighter ones.
+		maxReserved := size - (size+enumFallbackDivisor-1)/enumFallbackDivisor - k + 1
+		for _, reserved := range []int{0, size / 2, maxReserved} {
+			if reserved < 0 {
+				continue
+			}
+			avail := size - reserved
+			if (avail-k+1)*enumFallbackDivisor < size {
+				t.Fatalf("k=%d reserved=%d: test case landed inside the fallback regime", k, reserved)
+			}
+			s := NewBatchSelector(sp, enc, stats.NewRNG(101))
+			reserveFirst(s, reserved)
+			ref := NewBatchSelector(sp, enc, stats.NewRNG(101))
+			reserveFirst(ref, reserved)
+			refRNG := stats.NewRNG(101)
+			for round := 0; round < 3; round++ {
+				got := s.drawDistinct(k)
+				want := historicRejectionDraw(ref, refRNG, k)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("k=%d reserved=%d round %d: %v != historic %v", k, reserved, round, got, want)
+				}
+				if s.RNG().State() != refRNG.State() {
+					t.Fatalf("k=%d reserved=%d round %d: RNG state diverged from historic loop", k, reserved, round)
+				}
+			}
+		}
+	}
+}
+
+// TestDrawDistinctNearExhaustionFallback pins the fallback regime: with
+// the drawable pool nearly exhausted, drawDistinct must terminate in
+// exactly k RNG draws (the partial Fisher–Yates of the enumeration
+// reference), return distinct unreserved points, and remain a pure
+// function of (seed, reservation state).
+func TestDrawDistinctNearExhaustionFallback(t *testing.T) {
+	sp := synthSpace()
+	enc := newTestEncoder(sp)
+	size := sp.Size()
+	const k = 4
+	for _, avail := range []int{k + 1, k, 2} {
+		s := NewBatchSelector(sp, enc, stats.NewRNG(55))
+		reserveFirst(s, size-avail)
+		if (avail-min(k, avail)+1)*enumFallbackDivisor >= size {
+			t.Fatalf("avail=%d: not in the fallback regime", avail)
+		}
+		ref := NewBatchSelector(sp, enc, stats.NewRNG(55))
+		reserveFirst(ref, size-avail)
+		refRNG := stats.NewRNG(55)
+		got := s.drawDistinct(k)
+		want := enumerationDraw(ref, refRNG, k)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("avail=%d: %v != enumeration reference %v", avail, got, want)
+		}
+		if s.RNG().State() != refRNG.State() {
+			t.Fatalf("avail=%d: consumed draws beyond the k-step Fisher–Yates", avail)
+		}
+		seen := make(map[int]bool)
+		for _, idx := range got {
+			if s.IsReserved(idx) || seen[idx] {
+				t.Fatalf("avail=%d: draw %v repeats or hits reserved points", avail, got)
+			}
+			seen[idx] = true
+		}
+		if wantLen := min(k, avail); len(got) != wantLen {
+			t.Fatalf("avail=%d: drew %d points, want %d", avail, len(got), wantLen)
+		}
+	}
+}
+
+// TestRandomDrainsExhaustedPool is the user-visible symptom the fallback
+// fixes: draining the last points of a large space must terminate
+// promptly and return every drawable point exactly once.
+func TestRandomDrainsExhaustedPool(t *testing.T) {
+	sp := synthSpace()
+	enc := newTestEncoder(sp)
+	s := NewBatchSelector(sp, enc, stats.NewRNG(9))
+	var drawn []int
+	for s.Remaining() > 0 {
+		batch := s.Random(7)
+		if len(batch) == 0 {
+			t.Fatalf("empty batch with %d points remaining", s.Remaining())
+		}
+		for _, idx := range batch {
+			s.Reserve(idx)
+			drawn = append(drawn, idx)
+		}
+	}
+	if len(drawn) != sp.Size() {
+		t.Fatalf("drained %d points from a %d-point space", len(drawn), sp.Size())
+	}
+	sort.Ints(drawn)
+	for i, idx := range drawn {
+		if idx != i {
+			t.Fatalf("point %d missing or repeated in drained sequence", i)
+		}
+	}
+	if got := s.Random(3); got != nil {
+		t.Fatalf("exhausted pool returned %v", got)
+	}
+}
+
 // BenchmarkTopVariance measures the top-n extraction alone at the pool
 // sizes where active learning hurts: 50-point batches over 10k–100k
 // candidate pools. The heap is O(pool·log n) against the selection

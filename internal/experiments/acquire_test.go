@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/studies"
+)
+
+// acquireTestConfig is the smoke-scale acquisition comparison the CI
+// gate runs: the memory-system study at tiny budgets.
+func acquireTestConfig() CurveConfig {
+	cfg := tinyCurveConfig()
+	// One random seed round, then fine-grained acquisition rounds.
+	cfg.Start, cfg.Step, cfg.End = 30, 15, 120
+	return cfg
+}
+
+// TestAcquisitionLearningGate is the issue's acceptance gate: on the
+// memory-system study, hypervolume-improvement acquisition must reach
+// the variance-only baseline's final hypervolume using at most 80% of
+// its simulation budget. Both arms share seeds and the deterministic
+// simulator, so the comparison is a pure function of this
+// configuration — the same on every machine.
+func TestAcquisitionLearningGate(t *testing.T) {
+	st := studies.MemorySystem()
+	cfg := acquireTestConfig()
+	curves, err := AcquisitionLearning(st, "mcf", cfg, []string{"hvi:max=out0:min=out1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 || curves[0].Name != "variance" || curves[1].Name != "hvi:max=out0:min=out1" {
+		t.Fatalf("unexpected arms %v", []string{curves[0].Name, curves[1].Name})
+	}
+	variance, hvi := curves[0], curves[1]
+	for _, c := range curves {
+		if len(c.Points) != 7 {
+			t.Fatalf("arm %s recorded %d budgets, want 7", c.Name, len(c.Points))
+		}
+		for i, p := range c.Points {
+			if want := cfg.Start + cfg.Step*i; p.Samples != want {
+				t.Fatalf("arm %s point %d at %d samples, want %d", c.Name, i, p.Samples, want)
+			}
+			if p.Hypervolume < 0 {
+				t.Fatalf("arm %s negative hypervolume %v", c.Name, p.Hypervolume)
+			}
+			if i > 0 && p.Hypervolume < c.Points[i-1].Hypervolume {
+				t.Fatalf("arm %s hypervolume shrank from %v to %v — the simulated set only grows",
+					c.Name, c.Points[i-1].Hypervolume, p.Hypervolume)
+			}
+		}
+	}
+	// The arms share their first (random) round bit-identically.
+	if variance.Points[0].Hypervolume != hvi.Points[0].Hypervolume {
+		t.Fatalf("first-round hypervolume differs (%v vs %v) despite identical random batches",
+			variance.Points[0].Hypervolume, hvi.Points[0].Hypervolume)
+	}
+	final := variance.Points[len(variance.Points)-1].Hypervolume
+	budget := BudgetToReach(hvi.Points, final)
+	if budget < 0 {
+		t.Fatalf("hvi never reached the variance-only final hypervolume %v within %d simulations", final, cfg.End)
+	}
+	if float64(budget) > 0.8*float64(cfg.End) {
+		t.Fatalf("hvi needed %d of %d simulations (> 80%%) to match the variance-only final hypervolume %v",
+			budget, cfg.End, final)
+	}
+	t.Logf("hvi matched the variance-only final hypervolume %.4f at %d/%d simulations", final, budget, cfg.End)
+}
+
+func TestAcquisitionLearningValidation(t *testing.T) {
+	st := studies.MemorySystem()
+	cfg := acquireTestConfig()
+	if _, err := AcquisitionLearning(st, "mcf", cfg, nil); err == nil {
+		t.Fatal("no specs accepted")
+	}
+	if _, err := AcquisitionLearning(st, "mcf", cfg, []string{"entropy"}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	bad := cfg
+	bad.Step = 0
+	if _, err := AcquisitionLearning(st, "mcf", bad, []string{"variance"}); err == nil {
+		t.Fatal("invalid sweep accepted")
+	}
+}
+
+func TestBudgetToReach(t *testing.T) {
+	pts := []AcquirePoint{{Samples: 30, Hypervolume: 0.2}, {Samples: 60, Hypervolume: 0.5}, {Samples: 90, Hypervolume: 0.5}}
+	if got := BudgetToReach(pts, 0.5); got != 60 {
+		t.Fatalf("BudgetToReach = %d, want 60", got)
+	}
+	if got := BudgetToReach(pts, 0.19); got != 30 {
+		t.Fatalf("BudgetToReach = %d, want 30", got)
+	}
+	if got := BudgetToReach(pts, 0.6); got != -1 {
+		t.Fatalf("BudgetToReach = %d, want -1", got)
+	}
+	if got := BudgetToReach(nil, 0); got != -1 {
+		t.Fatalf("BudgetToReach(nil) = %d, want -1", got)
+	}
+}

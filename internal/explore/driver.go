@@ -83,6 +83,7 @@ type Driver struct {
 	oracle core.Oracle
 	cfg    Config
 	sel    *core.BatchSelector
+	acq    core.Acquirer // non-nil iff cfg.Acquire is
 
 	indices []int       // simulated design points, in sampling order
 	inputs  [][]float64 // encoded inputs, aligned with indices
@@ -114,6 +115,13 @@ func New(sp *space.Space, oracle core.Oracle, cfg Config) (*Driver, error) {
 		oracle: oracle,
 		cfg:    cfg,
 		sel:    core.NewBatchSelector(sp, enc, cfg.SeedRNG()),
+	}
+	if cfg.Acquire != nil {
+		acq, err := core.NewAcquirer(cfg.Acquire)
+		if err != nil {
+			return nil, err
+		}
+		d.acq = acq
 	}
 	for _, idx := range cfg.Exclude {
 		d.sel.Reserve(idx)
@@ -235,7 +243,11 @@ func (d *Driver) Run(ctx context.Context) (*core.Ensemble, error) {
 			batch, results = pending.batch, pending.await()
 			pending = nil
 		} else {
-			batch = d.nextBatch()
+			var err error
+			batch, err = d.nextBatch()
+			if err != nil {
+				return nil, err
+			}
 			if len(batch) == 0 {
 				break // space (minus exclusions and quarantine) exhausted
 			}
@@ -260,7 +272,11 @@ func (d *Driver) Run(ctx context.Context) (*core.Ensemble, error) {
 		// last, the speculative results are simply dropped — the
 		// recorded run is identical to the sequential loop's.
 		if d.speculative() && len(d.indices) < d.cfg.MaxSamples {
-			if next := d.nextBatch(); len(next) > 0 {
+			// Random selection never errors, so the speculative draw
+			// cannot either.
+			if next, err := d.nextBatch(); err != nil {
+				return nil, err
+			} else if len(next) > 0 {
 				pending = d.launch(ctx, next)
 			}
 		}
@@ -294,7 +310,10 @@ func (d *Driver) targetMet() bool {
 // contract.
 func (d *Driver) Step(ctx context.Context, n int) error {
 	if n > 0 {
-		batch := d.selectBatch(n)
+		batch, err := d.selectBatch(n)
+		if err != nil {
+			return err
+		}
 		added := 0
 		if len(batch) > 0 {
 			results := d.launch(ctx, batch).await()
@@ -320,7 +339,7 @@ func (d *Driver) Step(ctx context.Context, n int) error {
 
 // nextBatch sizes the next batch by the remaining budget and selects
 // it.
-func (d *Driver) nextBatch() []int {
+func (d *Driver) nextBatch() ([]int, error) {
 	n := d.cfg.BatchSize
 	if rem := d.cfg.MaxSamples - len(d.indices); n > rem {
 		n = rem
@@ -328,21 +347,28 @@ func (d *Driver) nextBatch() []int {
 	return d.selectBatch(n)
 }
 
-// selectBatch draws up to n points per the configured strategy.
-func (d *Driver) selectBatch(n int) []int {
+// selectBatch draws up to n points per the configured strategy:
+// acquisition once an ensemble exists (the first round is always
+// random), else variance or random selection.
+func (d *Driver) selectBatch(n int) ([]int, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
+	}
+	if d.acq != nil && d.ens != nil {
+		return d.sel.Acquire(d.acq, d.ens, d.inputs, n, d.cfg.CandidatePool)
 	}
 	if d.cfg.Strategy == core.SelectVariance && d.ens != nil {
-		return d.sel.ByVariance(d.ens, n, d.cfg.CandidatePool)
+		return d.sel.ByVariance(d.ens, n, d.cfg.CandidatePool), nil
 	}
-	return d.sel.Random(n)
+	return d.sel.Random(n), nil
 }
 
 // speculative reports whether the driver may overlap training with the
-// next round's simulations.
+// next round's simulations. Acquisition (like variance selection) needs
+// the latest ensemble to choose the next batch, so it always runs the
+// stages in lockstep.
 func (d *Driver) speculative() bool {
-	return !d.cfg.Sequential && d.cfg.Strategy == core.SelectRandom
+	return !d.cfg.Sequential && d.cfg.Strategy == core.SelectRandom && d.acq == nil
 }
 
 // launch starts the fan-out evaluation of batch.

@@ -35,8 +35,13 @@ type ExploreRequest struct {
 	Batch  int     `json:"batch,omitempty"`
 	Target float64 `json:"target,omitempty"`
 	// Active selects variance-driven (active-learning) sampling.
-	Active bool   `json:"active,omitempty"`
-	Seed   uint64 `json:"seed,omitempty"`
+	Active bool `json:"active,omitempty"`
+	// Acquire selects a Pareto-aware acquisition function, in the
+	// core.ParseAcquireSpec grammar ("hvi:max=out0:min=out1",
+	// "variance:out0>=1.2", ...). It overrides Active once an ensemble
+	// exists; the first round is always random.
+	Acquire string `json:"acquire,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
 	// Workers bounds the per-job oracle fan-out (0 = all cores);
 	// Retries is per-point retries before quarantine (0 = default).
 	Workers int `json:"workers,omitempty"`
@@ -90,12 +95,18 @@ type Job struct {
 	finished    time.Time
 	steps       []core.Step
 	quarantined int
-	swept       int
-	sweepTotal  int
-	result      any
-	errMsg      string
-	cancel      context.CancelFunc
-	cancelled   bool
+	// liveSp/liveEns/acquire feed GET /v1/jobs/{id}/frontier: the
+	// exploration's design space, its latest trained ensemble (updated
+	// after every completed round) and its acquisition config.
+	liveSp     *space.Space
+	liveEns    *core.Ensemble
+	acquire    *core.AcquireConfig
+	swept      int
+	sweepTotal int
+	result     any
+	errMsg     string
+	cancel     context.CancelFunc
+	cancelled  bool
 }
 
 // JobInfo is a consistent snapshot of a job, and its JSON view.
@@ -234,6 +245,13 @@ func (s *JobStore) Submit(req ExploreRequest) (JobInfo, error) {
 	}
 	if req.Batch < 0 || req.Batch > req.Budget {
 		return JobInfo{}, fmt.Errorf("serve: batch %d outside (0, budget=%d]", req.Batch, req.Budget)
+	}
+	if req.Acquire != "" {
+		// Reject malformed specs at submission, not rounds later when
+		// the first acquisition-driven batch would be drawn.
+		if _, err := core.ParseAcquireSpec(req.Acquire); err != nil {
+			return JobInfo{}, fmt.Errorf("serve: %w", err)
+		}
 	}
 	return s.enqueue(JobKindExplore, req, req.Name, func(ctx context.Context, job *Job) (any, error) {
 		return nil, s.runExplore(ctx, job, req)
@@ -471,17 +489,30 @@ func (s *JobStore) explore(ctx context.Context, job *Job, req ExploreRequest) (*
 			batch = req.Budget
 		}
 	}
-	cfg := driverConfig(req, batch)
-	cfg.OnStep = func(step core.Step) {
-		job.mu.Lock()
-		job.steps = append(job.steps, step)
-		job.mu.Unlock()
-	}
-	cfg.Meta = meta
-	d, err := explore.New(sp, oracle, cfg)
+	cfg, err := driverConfig(req, batch)
 	if err != nil {
 		return nil, nil, meta, err
 	}
+	// The OnStep observer snapshots the freshly trained ensemble into
+	// the job for GET /v1/jobs/{id}/frontier. It closes over d, which is
+	// assigned below before Run starts; OnStep runs on the goroutine
+	// executing Run, so the read is ordered after the assignment.
+	var d *explore.Driver
+	cfg.OnStep = func(step core.Step) {
+		job.mu.Lock()
+		job.steps = append(job.steps, step)
+		job.liveEns = d.Ensemble()
+		job.mu.Unlock()
+	}
+	cfg.Meta = meta
+	d, err = explore.New(sp, oracle, cfg)
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	job.mu.Lock()
+	job.liveSp = sp
+	job.acquire = cfg.Acquire
+	job.mu.Unlock()
 	ens, err := d.Run(ctx)
 	if err != nil {
 		return nil, d, meta, err
@@ -493,7 +524,7 @@ func (s *JobStore) explore(ctx context.Context, job *Job, req ExploreRequest) (*
 
 // driverConfig maps an exploration request onto the driver's
 // configuration.
-func driverConfig(req ExploreRequest, batch int) explore.Config {
+func driverConfig(req ExploreRequest, batch int) (explore.Config, error) {
 	cfg := explore.Config{
 		ExploreConfig: core.ExploreConfig{
 			Model:         core.DefaultModelConfig(),
@@ -510,6 +541,13 @@ func driverConfig(req ExploreRequest, batch int) explore.Config {
 	if req.Active {
 		cfg.Strategy = core.SelectVariance
 	}
+	if req.Acquire != "" {
+		acq, err := core.ParseAcquireSpec(req.Acquire)
+		if err != nil {
+			return explore.Config{}, fmt.Errorf("serve: %w", err)
+		}
+		cfg.Acquire = acq
+	}
 	cfg.Model.Workers = req.Workers
-	return cfg
+	return cfg, nil
 }

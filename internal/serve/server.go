@@ -30,6 +30,7 @@
 //	POST /v1/explore             submit an exploration job (202 + job id)
 //	GET  /v1/jobs                all jobs with live round progress
 //	GET  /v1/jobs/{id}           one job's status, rounds, quarantine
+//	GET  /v1/jobs/{id}/frontier  predicted Pareto frontier of the live ensemble
 //	POST /v1/jobs/{id}/cancel    cancel a queued or running job
 //
 // Completed jobs register their trained bundle in the model registry
@@ -128,6 +129,7 @@ func NewWithJobs(reg *Registry, jobs *JobStore) *Server {
 	s.mux.HandleFunc("POST /v1/sweep/shard", s.handleSweepShard)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/frontier", s.handleJobFrontier)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	return s
 }

@@ -1,14 +1,20 @@
 package sweep
 
 import (
+	"fmt"
+	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
 // fuzzPoints decodes raw fuzz bytes into a small point set over 1–3
 // metrics. Values are quantized to a handful of levels so ties, exact
 // duplicates and dominance chains all occur routinely instead of
-// almost never.
+// almost never. Bytes ≥ 250 decode to non-finite values (NaN, ±Inf) so
+// the fuzzer also exercises the frontier's unrankable-point rejection;
+// bytes below that decode exactly as they did before the rejection
+// existed, keeping the checked-in corpus meaningful.
 func fuzzPoints(data []byte) (minimize []bool, pts []Point) {
 	if len(data) < 2 {
 		return nil, nil
@@ -22,11 +28,30 @@ func fuzzPoints(data []byte) (minimize []bool, pts []Point) {
 	for i := 0; i+nm <= len(data) && len(pts) < 64; i += nm {
 		v := make([]float64, nm)
 		for m := 0; m < nm; m++ {
-			v[m] = float64(data[i+m] % 5)
+			switch b := data[i+m]; {
+			case b >= 254:
+				v[m] = math.NaN()
+			case b >= 252:
+				v[m] = math.Inf(1)
+			case b >= 250:
+				v[m] = math.Inf(-1)
+			default:
+				v[m] = float64(b % 5)
+			}
 		}
 		pts = append(pts, Point{Index: len(pts), Values: v})
 	}
 	return minimize, pts
+}
+
+// finiteValues reports whether every metric value is rankable.
+func finiteValues(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // refFrontier is the O(n²) transcription of the frontier definition: a
@@ -57,13 +82,46 @@ func refFrontier(minimize []bool, pts []Point) []Point {
 // the dominance definition: dominance must be irreflexive and
 // antisymmetric, and the reducer must match the O(n²) reference for
 // any offer order — the set-function property the whole distributed
-// merge rests on.
+// merge rests on. Points with non-finite values must be rejected at
+// Offer with an error naming the point, leaving the frontier exactly
+// as if they were never offered.
 func FuzzParetoDominance(f *testing.F) {
 	f.Add([]byte{1, 0, 3, 1, 4, 1, 5, 0, 2, 2})
 	f.Add([]byte{2, 1, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4})
 	f.Add([]byte{0, 3, 4, 4, 4, 4, 0, 1, 2, 3})
+	// NaN (254+), +Inf (252) and -Inf (250) values mixed into an
+	// otherwise ordinary stream: the reducer must reject exactly the
+	// non-finite points and reduce the rest as if they were absent.
+	f.Add([]byte{1, 0, 3, 1, 255, 2, 4, 1, 252, 0, 250, 3, 2, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		minimize, pts := fuzzPoints(data)
+		if len(pts) == 0 {
+			return
+		}
+		// Split out the unrankable points: they must error at Offer;
+		// the finite remainder must reduce exactly as if offered alone.
+		var finite, bad []Point
+		for _, p := range pts {
+			if finiteValues(p.Values) {
+				finite = append(finite, p)
+			} else {
+				bad = append(bad, p)
+			}
+		}
+		for _, p := range bad {
+			fr := newFrontier(minimize)
+			err := fr.Offer(p.Index, p.Values)
+			if err == nil {
+				t.Fatalf("offer of non-finite point %d (%v) succeeded", p.Index, p.Values)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("point %d", p.Index)) {
+				t.Fatalf("rejection %q does not name point %d", err, p.Index)
+			}
+			if fr.Len() != 0 {
+				t.Fatalf("rejected offer left %d points on the frontier", fr.Len())
+			}
+		}
+		pts = finite
 		if len(pts) == 0 {
 			return
 		}
@@ -82,9 +140,11 @@ func FuzzParetoDominance(f *testing.F) {
 		offer := func(order []int) []Point {
 			fr := newFrontier(minimize)
 			for _, i := range order {
-				fr.offer(pts[i].Index, pts[i].Values)
+				if err := fr.Offer(pts[i].Index, pts[i].Values); err != nil {
+					t.Fatal(err)
+				}
 			}
-			return fr.sorted()
+			return fr.Sorted()
 		}
 		forward := make([]int, len(pts))
 		reverse := make([]int, len(pts))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ann"
+	"repro/internal/pareto"
 )
 
 // Partial is the serializable reduction of one contiguous shard of a
@@ -129,11 +130,13 @@ func (p *Partial) Merge(o *Partial) error {
 	// duplicates collapsed — so seed the reducer with it directly and
 	// offer only o's points: O(|o|·F) instead of rebuilding at O(F²)
 	// per merge as the accumulated frontier grows.
-	f := &frontier{minimize: minimize, pts: p.Frontier}
+	f := pareto.Resume(minimize, p.Frontier)
 	for _, pt := range o.Frontier {
-		f.offer(pt.Index, pt.Values)
+		if err := f.Offer(pt.Index, pt.Values); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
 	}
-	p.Frontier = f.sorted()
+	p.Frontier = f.Sorted()
 	p.End = o.End
 	return nil
 }

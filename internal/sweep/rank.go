@@ -3,26 +3,34 @@ package sweep
 import (
 	"container/heap"
 	"sort"
+
+	"repro/internal/pareto"
 )
 
-// Point is one scored design point: its flat index in the design space
-// and its value on every metric, in metric-column order.
-type Point struct {
-	Index  int       `json:"point"`
-	Values []float64 `json:"values"`
+// Point is one scored design point — internal/pareto's Point, aliased
+// so the sweep wire format and result documents are unchanged by the
+// algebra's extraction.
+type Point = pareto.Point
+
+// better, dominates and equalValues delegate to the shared dominance
+// algebra in internal/pareto; the local names keep the sweep reducers
+// reading as before the extraction.
+func better(minimize bool, a, b float64, ai, bi int) bool {
+	return pareto.Better(minimize, a, b, ai, bi)
 }
 
-// better reports whether value a beats value b on one metric, with the
-// deterministic tie-break on flat index that makes every sweep
-// reduction a total order: equal values rank the lower index first.
-func better(minimize bool, a, b float64, ai, bi int) bool {
-	if a != b {
-		if minimize {
-			return a < b
-		}
-		return a > b
-	}
-	return ai < bi
+func dominates(minimize []bool, a, b []float64) bool {
+	return pareto.Dominates(minimize, a, b)
+}
+
+func equalValues(a, b []float64) bool {
+	return pareto.EqualValues(a, b)
+}
+
+// newFrontier builds the streaming Pareto reducer (see pareto.Frontier
+// for the membership rules and the bit-identity argument).
+func newFrontier(minimize []bool) *pareto.Frontier {
+	return pareto.NewFrontier(minimize)
 }
 
 // topK is the bounded per-metric leaderboard: a k-element heap whose
@@ -90,93 +98,4 @@ func (t *topK) ranked() []Point {
 		return better(t.minimize, t.pts[i].Values[t.metric], t.pts[j].Values[t.metric], t.pts[i].Index, t.pts[j].Index)
 	})
 	return t.pts
-}
-
-// frontier is the streaming Pareto reducer over every metric at once.
-// A point survives iff no other point weakly dominates it (at least as
-// good on every metric, strictly better on one); points with exactly
-// equal metric vectors collapse onto the lowest index. Both rules are
-// properties of the point *set*, not of arrival order, so the frontier
-// is identical for any chunking, worker count, or merge order — the
-// heart of the sweep's bit-identity guarantee.
-type frontier struct {
-	minimize []bool
-	pts      []Point
-}
-
-func newFrontier(minimize []bool) *frontier {
-	return &frontier{minimize: minimize}
-}
-
-// dominates reports whether metric vector a weakly dominates b.
-func dominates(minimize []bool, a, b []float64) bool {
-	strict := false
-	for m := range a {
-		switch {
-		case a[m] == b[m]:
-		case better(minimize[m], a[m], b[m], 0, 0):
-			strict = true
-		default:
-			return false
-		}
-	}
-	return strict
-}
-
-func equalValues(a, b []float64) bool {
-	for m := range a {
-		if a[m] != b[m] {
-			return false
-		}
-	}
-	return true
-}
-
-// offer considers one candidate; values may be a reused buffer — it is
-// copied only if the candidate joins the frontier.
-//
-// Rejections move the dominating point to the front of the scan order:
-// a point that dominates once tends to dominate a long run of
-// neighboring candidates, so the streaming common case exits after one
-// comparison instead of O(frontier). The membership rules are
-// properties of the point set, so internal order is free to permute —
-// sorted() canonicalizes before anything observable.
-func (f *frontier) offer(index int, values []float64) {
-	for i := range f.pts {
-		q := &f.pts[i]
-		if equalValues(q.Values, values) {
-			if index < q.Index {
-				q.Index = index // duplicate collapse: lowest index represents the class
-			}
-			return
-		}
-		if dominates(f.minimize, q.Values, values) {
-			if i > 0 {
-				f.pts[0], f.pts[i] = f.pts[i], f.pts[0]
-			}
-			return
-		}
-	}
-	// The candidate survives: evict everything it now dominates.
-	kept := f.pts[:0]
-	for _, q := range f.pts {
-		if !dominates(f.minimize, values, q.Values) {
-			kept = append(kept, q)
-		}
-	}
-	f.pts = append(kept, Point{Index: index, Values: append([]float64(nil), values...)})
-}
-
-// merge folds another frontier in.
-func (f *frontier) merge(o *frontier) {
-	for _, p := range o.pts {
-		f.offer(p.Index, p.Values)
-	}
-}
-
-// sorted returns the frontier in ascending index order — the canonical
-// rendering every parity test compares bit for bit.
-func (f *frontier) sorted() []Point {
-	sort.Slice(f.pts, func(i, j int) bool { return f.pts[i].Index < f.pts[j].Index })
-	return f.pts
 }

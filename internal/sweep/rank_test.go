@@ -10,9 +10,11 @@ import (
 func frontierOf(minimize []bool, pts []Point) []Point {
 	f := newFrontier(minimize)
 	for _, p := range pts {
-		f.offer(p.Index, p.Values)
+		if err := f.Offer(p.Index, p.Values); err != nil {
+			panic(err)
+		}
 	}
-	return append([]Point(nil), f.sorted()...)
+	return append([]Point(nil), f.Sorted()...)
 }
 
 func indices(pts []Point) []int {
@@ -29,19 +31,19 @@ func indices(pts []Point) []int {
 func TestFrontierDominance(t *testing.T) {
 	maxBoth := []bool{false, false}
 	got := frontierOf(maxBoth, []Point{
-		{0, []float64{1, 1}},
-		{1, []float64{2, 0.5}},   // incomparable with 0
-		{2, []float64{0.5, 0.5}}, // dominated by both
-		{3, []float64{3, 2}},     // dominates everything so far
+		{Index: 0, Values: []float64{1, 1}},
+		{Index: 1, Values: []float64{2, 0.5}},   // incomparable with 0
+		{Index: 2, Values: []float64{0.5, 0.5}}, // dominated by both
+		{Index: 3, Values: []float64{3, 2}},     // dominates everything so far
 	})
 	if want := []int{3}; !reflect.DeepEqual(indices(got), want) {
 		t.Fatalf("frontier = %v, want %v", indices(got), want)
 	}
 
 	got = frontierOf(maxBoth, []Point{
-		{0, []float64{1, 3}},
-		{1, []float64{2, 2}},
-		{2, []float64{3, 1}},
+		{Index: 0, Values: []float64{1, 3}},
+		{Index: 1, Values: []float64{2, 2}},
+		{Index: 2, Values: []float64{3, 1}},
 	})
 	if want := []int{0, 1, 2}; !reflect.DeepEqual(indices(got), want) {
 		t.Fatalf("incomparable chain = %v, want %v", indices(got), want)
@@ -53,10 +55,10 @@ func TestFrontierDominance(t *testing.T) {
 func TestFrontierDirections(t *testing.T) {
 	dir := []bool{false, true}
 	got := frontierOf(dir, []Point{
-		{0, []float64{1.0, 5}},
-		{1, []float64{1.5, 7}}, // faster but hungrier: stays
-		{2, []float64{0.9, 6}}, // slower and hungrier than 0: dominated
-		{3, []float64{1.0, 4}}, // same perf as 0, cheaper: evicts 0
+		{Index: 0, Values: []float64{1.0, 5}},
+		{Index: 1, Values: []float64{1.5, 7}}, // faster but hungrier: stays
+		{Index: 2, Values: []float64{0.9, 6}}, // slower and hungrier than 0: dominated
+		{Index: 3, Values: []float64{1.0, 4}}, // same perf as 0, cheaper: evicts 0
 	})
 	if want := []int{1, 3}; !reflect.DeepEqual(indices(got), want) {
 		t.Fatalf("frontier = %v, want %v", indices(got), want)
@@ -68,10 +70,10 @@ func TestFrontierDirections(t *testing.T) {
 func TestFrontierDuplicateCollapse(t *testing.T) {
 	dir := []bool{false, false}
 	pts := []Point{
-		{5, []float64{2, 2}},
-		{1, []float64{2, 2}},
-		{9, []float64{2, 2}},
-		{3, []float64{1, 3}},
+		{Index: 5, Values: []float64{2, 2}},
+		{Index: 1, Values: []float64{2, 2}},
+		{Index: 9, Values: []float64{2, 2}},
+		{Index: 3, Values: []float64{1, 3}},
 	}
 	for _, order := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}} {
 		shuffled := make([]Point, len(pts))
@@ -90,8 +92,8 @@ func TestFrontierDuplicateCollapse(t *testing.T) {
 func TestFrontierEqualOnOneAxis(t *testing.T) {
 	dir := []bool{false, false}
 	got := frontierOf(dir, []Point{
-		{0, []float64{2, 1}},
-		{1, []float64{2, 3}}, // equal on axis 0, strictly better on 1: evicts 0
+		{Index: 0, Values: []float64{2, 1}},
+		{Index: 1, Values: []float64{2, 3}}, // equal on axis 0, strictly better on 1: evicts 0
 	})
 	if want := []int{1}; !reflect.DeepEqual(indices(got), want) {
 		t.Fatalf("frontier = %v, want %v", indices(got), want)
@@ -102,10 +104,10 @@ func TestFrontierEqualOnOneAxis(t *testing.T) {
 // the single best point, duplicates collapsed.
 func TestFrontierSingleMetric(t *testing.T) {
 	got := frontierOf([]bool{true}, []Point{
-		{4, []float64{3}},
-		{7, []float64{1}},
-		{2, []float64{1}},
-		{9, []float64{2}},
+		{Index: 4, Values: []float64{3}},
+		{Index: 7, Values: []float64{1}},
+		{Index: 2, Values: []float64{1}},
+		{Index: 9, Values: []float64{2}},
 	})
 	if want := []int{2}; !reflect.DeepEqual(indices(got), want) {
 		t.Fatalf("single-metric frontier = %v, want %v", indices(got), want)
@@ -129,11 +131,15 @@ func TestFrontierMergeEqualsSequential(t *testing.T) {
 		for lo := 0; lo < len(pts); lo += shard {
 			local := newFrontier(dir)
 			for _, p := range pts[lo:min(lo+shard, len(pts))] {
-				local.offer(p.Index, p.Values)
+				if err := local.Offer(p.Index, p.Values); err != nil {
+					t.Fatal(err)
+				}
 			}
-			merged.merge(local)
+			if err := merged.Merge(local); err != nil {
+				t.Fatal(err)
+			}
 		}
-		if got := merged.sorted(); !reflect.DeepEqual(got, want) {
+		if got := merged.Sorted(); !reflect.DeepEqual(got, want) {
 			t.Fatalf("shard %d: merged frontier %v != sequential %v", shard, indices(got), indices(want))
 		}
 	}
@@ -144,8 +150,8 @@ func TestFrontierMergeEqualsSequential(t *testing.T) {
 func TestTopKOrderingAndTies(t *testing.T) {
 	tk := newTopK(0, false, 3)
 	for _, p := range []Point{
-		{10, []float64{1}}, {3, []float64{5}}, {8, []float64{5}},
-		{1, []float64{2}}, {4, []float64{4}},
+		{Index: 10, Values: []float64{1}}, {Index: 3, Values: []float64{5}}, {Index: 8, Values: []float64{5}},
+		{Index: 1, Values: []float64{2}}, {Index: 4, Values: []float64{4}},
 	} {
 		tk.offer(p.Index, p.Values)
 	}
@@ -155,7 +161,7 @@ func TestTopKOrderingAndTies(t *testing.T) {
 
 	tk = newTopK(0, true, 2)
 	for _, p := range []Point{
-		{5, []float64{2}}, {2, []float64{2}}, {7, []float64{1}},
+		{Index: 5, Values: []float64{2}}, {Index: 2, Values: []float64{2}}, {Index: 7, Values: []float64{1}},
 	} {
 		tk.offer(p.Index, p.Values)
 	}

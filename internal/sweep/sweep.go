@@ -31,6 +31,7 @@ import (
 	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/pareto"
 	"repro/internal/space"
 )
 
@@ -117,12 +118,17 @@ type Result struct {
 	PointsPerSec float64       `json:"pointsPerSec"`
 }
 
-// chunkPart is one chunk's reduction, travelling worker → reducer.
+// chunkPart is one chunk's reduction, travelling worker → reducer. A
+// non-nil err means the chunk hit an unrankable point (NaN/±Inf metric
+// value); the reducer surfaces errors strictly in chunk-id order, so
+// the error a sweep reports is a function of the space, not of worker
+// scheduling.
 type chunkPart struct {
 	id    int
 	rows  int
 	tops  []*topK
-	front *frontier
+	front *pareto.Frontier
+	err   error
 }
 
 // resolveRange validates the configured [Start, End) window against
@@ -271,10 +277,16 @@ func RunPartial(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg C
 					for m := range vbuf {
 						vbuf[m] = cols[m][r]
 					}
+					// The frontier's offer validates finiteness before
+					// ranking; an unrankable point abandons the chunk
+					// and travels to the reducer as its error.
+					if err := p.front.Offer(lo+r, vbuf); err != nil {
+						p.err = err
+						break
+					}
 					for _, t := range p.tops {
 						t.offer(lo+r, vbuf)
 					}
-					p.front.offer(lo+r, vbuf)
 				}
 				select {
 				case results <- p:
@@ -311,11 +323,20 @@ func RunPartial(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg C
 				break
 			}
 			delete(pending, reduced)
+			if q.err != nil {
+				cancel()
+				wg.Wait()
+				return nil, fmt.Errorf("sweep: %w", q.err)
+			}
 			for m, t := range tops {
 				t.merge(q.tops[m])
 			}
-			front.merge(q.front)
-			if maxFrontier > 0 && len(front.pts) > maxFrontier {
+			if err := front.Merge(q.front); err != nil {
+				cancel()
+				wg.Wait()
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			if maxFrontier > 0 && front.Len() > maxFrontier {
 				cancel()
 				wg.Wait()
 				return nil, fmt.Errorf("sweep: Pareto frontier exceeds %d points after %d of %d swept — the metric set is likely degenerate (one axis both maximized and minimized); raise Config.MaxFrontier (negative = unbounded) if the frontier is genuinely this large",
@@ -336,7 +357,7 @@ func RunPartial(ctx context.Context, sp *space.Space, set *core.MetricSet, cfg C
 		End:      last,
 		K:        topk,
 		Kernel:   kernelLabel(cfg.Kernel),
-		Frontier: front.sorted(),
+		Frontier: front.Sorted(),
 	}
 	for _, m := range metrics {
 		out.Metrics = append(out.Metrics, MetricInfo{Name: m.Name, Minimize: m.Minimize})

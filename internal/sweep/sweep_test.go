@@ -274,6 +274,53 @@ func TestRunFrontierCap(t *testing.T) {
 	}
 }
 
+// TestRunRejectsNonFiniteDeterministically: a model that predicts NaN
+// (an exec-oracle backend gone bad, say) must fail the sweep with an
+// error naming the offending flat index — and because the reducer
+// surfaces errors strictly in chunk-id order, the same error for any
+// worker count instead of whichever chunk lost the race.
+func TestRunRejectsNonFiniteDeterministically(t *testing.T) {
+	nan := trainBundle(t, 43, func(*space.Space, int) float64 { return math.NaN() })
+	set, sp, err := Resolve([]MetricSpec{
+		{Name: "bad", Model: "bad"},
+	}, map[string]*bundle.Bundle{"bad": nan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, workers := range []int{1, 4} {
+		_, err := Run(context.Background(), sp, set, Config{ChunkSize: 10, Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: sweep over a NaN-predicting model succeeded", workers)
+		}
+		if !strings.Contains(err.Error(), "non-finite") || !strings.Contains(err.Error(), "point") {
+			t.Fatalf("workers=%d: err %q does not name a non-finite point", workers, err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("non-finite rejection depends on worker count:\n%s\nvs\n%s", msgs[0], msgs[1])
+	}
+}
+
+// TestPartialMergeRejectsNonFinite: the binary shard wire format can
+// physically carry NaN (unlike JSON), so a partial from a corrupted
+// node must be rejected at merge instead of poisoning the frontier.
+func TestPartialMergeRejectsNonFinite(t *testing.T) {
+	metrics := []MetricInfo{{Name: "perf"}}
+	p := &Partial{Space: "s", Start: 0, End: 4, K: 0, Metrics: metrics,
+		Frontier: []Point{{Index: 2, Values: []float64{1.5}}}}
+	o := &Partial{Space: "s", Start: 4, End: 8, K: 0, Metrics: metrics,
+		Frontier: []Point{{Index: 6, Values: []float64{math.NaN()}}}}
+	err := p.Merge(o)
+	if err == nil {
+		t.Fatal("merge of a NaN-carrying partial succeeded")
+	}
+	if !strings.Contains(err.Error(), "point 6") {
+		t.Fatalf("merge rejection %q does not name point 6", err)
+	}
+}
+
 // TestRunValidation rejects malformed configurations.
 func TestRunValidation(t *testing.T) {
 	set, sp := testSet(t)
